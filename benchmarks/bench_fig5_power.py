@@ -1,0 +1,114 @@
+"""Figure 5: MAC power of unquantized / partially / fully quantized nets.
+
+Paper protocol: synthesize a MAC unit per precision (DesignWare @32nm —
+here the calibrated analytic model, see DESIGN.md) and compare, at
+iso-throughput, the power of
+
+  * the unquantized fp32 network,
+  * partially quantized ``fp-4b-fp`` and ``fp-2b-fp`` (fp first/last),
+  * the fully quantized mixed-precision network, whose first/last bits
+    follow the paper: ResNet20 6/2, ResNet18 6/6, ResNet50 8/3.
+
+Shape claims checked for every network:
+  * power strictly decreases: unquantized > fp-4b-fp > fp-2b-fp > fully
+    quantized;
+  * the fp first/last pair of the partially quantized nets draws 4-56x
+    the power of the entire quantized middle (the paper's statistic);
+  * the fully quantized net is the only configuration whose edge power is
+    comparable to its middle power.
+"""
+
+import numpy as np
+
+from repro import models
+from repro.hardware import NODE_32NM_SYNTH, power_of_config, trace_layer_macs
+
+# (label, constructor, input_shape, (first_bits, last_bits) of the
+# paper's fully-quantized configuration)
+NETWORKS = [
+    (
+        "ResNet20_CIFAR",
+        lambda: models.resnet20(rng=np.random.default_rng(0)),
+        (3, 32, 32),
+        (6, 2),
+    ),
+    (
+        "ResNet18",
+        lambda: models.resnet18(
+            num_classes=1000, rng=np.random.default_rng(0)
+        ),
+        (3, 64, 64),
+        (6, 6),
+    ),
+    (
+        "ResNet50",
+        lambda: models.resnet50(
+            num_classes=1000, rng=np.random.default_rng(0)
+        ),
+        (3, 64, 64),
+        (8, 3),
+    ),
+]
+
+FPS = 30.0
+
+
+def run_network(label, make_model, input_shape, edge_bits) -> dict:
+    model = make_model()
+    n = len(trace_layer_macs(model, input_shape))
+    first, last = edge_bits
+
+    configs = {
+        "unquantized": [(None, None)] * n,
+        "fp-4b-fp": [(None, None)] + [(4, 4)] * (n - 2) + [(None, None)],
+        "fp-2b-fp": [(None, None)] + [(2, 2)] * (n - 2) + [(None, None)],
+        "fully-quantized": (
+            [(first, first)] + [(2, 2)] * (n - 2) + [(last, last)]
+        ),
+    }
+    out = {"network": label}
+    for name, bit_config in configs.items():
+        report = power_of_config(
+            model, input_shape, bit_config, fps=FPS, node=NODE_32NM_SYNTH
+        )
+        out[name] = {
+            "total_mw": report.total_watts * 1e3,
+            "edge_mw": report.edge_watts * 1e3,
+            "middle_mw": report.middle_watts * 1e3,
+            "edge_to_middle": report.edge_to_middle_ratio,
+        }
+    return out
+
+
+def bench_fig5_power(benchmark, record_result):
+    def run():
+        return [run_network(*spec) for spec in NETWORKS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFig. 5 — MAC power at iso-throughput (32nm-synth model, 30 fps)")
+    header = f"{'network':<16}" + "".join(
+        f"{c:>18}" for c in ("unquantized", "fp-4b-fp", "fp-2b-fp", "fully-quant")
+    )
+    print(header + f"{'edge/mid(2b)':>14}")
+    for row in rows:
+        line = f"{row['network']:<16}"
+        for c in ("unquantized", "fp-4b-fp", "fp-2b-fp", "fully-quantized"):
+            line += f"{row[c]['total_mw']:16.3f}mW"
+        line += f"{row['fp-2b-fp']['edge_to_middle']:13.1f}x"
+        print(line)
+    record_result("fig5", {"rows": rows})
+
+    for row in rows:
+        # Strictly decreasing power across the four configurations.
+        seq = [
+            row[c]["total_mw"]
+            for c in ("unquantized", "fp-4b-fp", "fp-2b-fp", "fully-quantized")
+        ]
+        assert all(a > b for a, b in zip(seq, seq[1:])), row
+        # fp edges dominate the quantized middle by the paper's 4-56x band
+        # (checked on the fp-2b-fp configuration).
+        ratio = row["fp-2b-fp"]["edge_to_middle"]
+        assert 4.0 <= ratio <= 56.0, (row["network"], ratio)
+        # In the fully quantized net the edges no longer dominate.
+        assert row["fully-quantized"]["edge_to_middle"] < 1.0, row

@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures: cached tasks and result recording.
+
+Pretraining is the dominant cost, so tasks (and their pretrained
+checkpoints) are cached per session and shared across the table/figure
+benchmarks.  Every benchmark appends its headline numbers to
+``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be regenerated
+from a single run.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``bench`` /
+``paper``.  The default is ``smoke`` so a plain
+``pytest benchmarks/ --benchmark-only`` completes in well under an hour
+on a single CPU; ``bench``/``paper`` trade time for fidelity.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import SCALES, Task, build_task
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if scale not in SCALES:
+        raise KeyError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return scale
+
+
+_TASK_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def get_task():
+    """Factory fixture returning cached, pretrained tasks by name."""
+
+    def factory(name: str, scale: str = None) -> Task:
+        scale = scale or bench_scale()
+        key = (name, scale)
+        if key not in _TASK_CACHE:
+            task = build_task(name, scale=scale)
+            task.pretrained_model()  # trigger + cache the pretraining
+            _TASK_CACHE[key] = task
+        return _TASK_CACHE[key]
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist one benchmark's headline numbers as JSON."""
+
+    def save(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, default=float)
+
+    return save

@@ -1,0 +1,248 @@
+"""Regenerate the measured sections of EXPERIMENTS.md from results/*.json.
+
+Run after a full benchmark pass::
+
+    REPRO_BENCH_SCALE=smoke pytest benchmarks/ --benchmark-only -s
+    python benchmarks/make_experiments_report.py
+
+The script rewrites everything below the ``<!-- measured-results -->``
+marker in EXPERIMENTS.md, keeping the hand-written paper-number context
+above it intact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+EXPERIMENTS = pathlib.Path(__file__).parent.parent / "EXPERIMENTS.md"
+MARKER = "<!-- measured-results -->"
+
+
+def load(name: str):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def pct(x: float) -> str:
+    return f"{x * 100:.2f}"
+
+
+def section_table1(lines):
+    data = load("table1")
+    lines.append("## Table I (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    lines.append("| Policy | Baseline % | One-shot % | Gradual % | Gradual − One-shot |")
+    lines.append("|---|---|---|---|---|")
+    for row in data["rows"]:
+        gap = row["gradual"] - row["oneshot"]
+        lines.append(
+            f"| {row['policy']} | {pct(row['baseline'])} | "
+            f"{pct(row['oneshot'])} | {pct(row['gradual'])} | "
+            f"{gap * 100:+.2f} |"
+        )
+    lines.append("")
+    lines.append(
+        "Shape check: gradual ≥ one-shot for every policy — "
+        + ("**holds**" if all(
+            r["gradual"] >= r["oneshot"] - 0.02 for r in data["rows"]
+        ) else "**violated**")
+        + ".\n"
+    )
+
+
+def section_table2(lines):
+    lines.append("## Table II (measured)\n")
+    for suffix, label in (
+        ("resnet20", "ResNet20 / synthetic CIFAR10"),
+        ("resnet18", "ResNet18 / synthetic ImageNet"),
+        ("resnet50", "ResNet50 / synthetic ImageNet"),
+    ):
+        data = load(f"table2_{suffix}")
+        lines.append(f"### {label}\n")
+        if data is None:
+            lines.append("_not yet run_\n")
+            continue
+        lines.append(
+            "| Framework | Baseline % | Bits | first/last | Quantized % "
+            "| Compression | Degradation % |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in data["rows"]:
+            lines.append(
+                f"| {row['framework']} | {pct(row['baseline_top1'])} | "
+                f"{row['bits']} | {row['first_last']} | "
+                f"{pct(row['quantized_top1'])} | "
+                f"{row['compression']:.2f}x | "
+                f"{row['degradation'] * 100:.2f} |"
+            )
+        lines.append("")
+
+
+def section_fig1(lines):
+    data = load("fig1")
+    lines.append("## Fig. 1 (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    lines.append("| λ | Accuracy % | Compression | Steps |")
+    lines.append("|---|---|---|---|")
+    for row in data["rows"]:
+        lines.append(
+            f"| {row['lambda']} | {pct(row['accuracy'])} | "
+            f"{row['compression']:.2f}x | {row['steps']} |"
+        )
+    lines.append("")
+
+
+def section_fig2(lines):
+    data = load("fig2")
+    lines.append("## Fig. 2 (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    records = data["records"]
+    valleys = [r for r in records if r["pre"] - r["valley"] > 0.03]
+    lines.append(
+        f"{len(records)} quantization steps; baseline "
+        f"{pct(data['baseline'])}%, final {pct(data['final'])}% at "
+        f"{data['compression']:.2f}x."
+    )
+    lines.append("")
+    lines.append("Deepest valleys (>3% drop) and their recoveries:\n")
+    lines.append("| Layer → bits | Pre % | Valley % | Peak % |")
+    lines.append("|---|---|---|---|")
+    for r in sorted(valleys, key=lambda r: r["pre"] - r["valley"],
+                    reverse=True)[:5]:
+        lines.append(
+            f"| {r['layer']} → {r['to_bits']}b | {pct(r['pre'])} | "
+            f"{pct(r['valley'])} | {pct(r['peak'])} |"
+        )
+    lines.append("")
+
+
+def section_fig3(lines):
+    data = load("fig3")
+    lines.append("## Fig. 3 (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    for mode in ("manual", "adaptive"):
+        d = data[mode]
+        total = sum(d["epochs_per_step"])
+        lines.append(
+            f"* **{mode}**: final {pct(d['final'])}% at "
+            f"{d['compression']:.2f}x; {total} recovery epochs total; "
+            f"epochs/step = {d['epochs_per_step']}"
+        )
+    lines.append("")
+
+
+def section_fig4(lines):
+    data = load("fig4")
+    lines.append("## Fig. 4 (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    for mode in ("constant", "hybrid"):
+        d = data[mode]
+        accs = ", ".join(pct(a) for a in d["accuracy_history"])
+        lines.append(f"* **{mode} LR** accuracy trajectory (%): {accs}")
+        if d["lr_history"]:
+            lrs = ", ".join(f"{lr:.4f}" for lr in d["lr_history"])
+            lines.append(f"  LR profile: {lrs}")
+    lines.append("")
+
+
+def section_fig5(lines):
+    data = load("fig5")
+    lines.append("## Fig. 5 (measured)\n")
+    if data is None:
+        lines.append("_not yet run_\n")
+        return
+    lines.append(
+        "| Network | Unquantized | fp-4b-fp | fp-2b-fp | Fully quantized "
+        "| edge/middle (fp-2b-fp) |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    for row in data["rows"]:
+        lines.append(
+            f"| {row['network']} "
+            f"| {row['unquantized']['total_mw']:.3f} mW "
+            f"| {row['fp-4b-fp']['total_mw']:.3f} mW "
+            f"| {row['fp-2b-fp']['total_mw']:.3f} mW "
+            f"| {row['fully-quantized']['total_mw']:.3f} mW "
+            f"| {row['fp-2b-fp']['edge_to_middle']:.1f}x |"
+        )
+    lines.append("")
+
+
+def section_ablations(lines):
+    lines.append("## Ablations (measured)\n")
+    gamma = load("ablation_gamma")
+    if gamma is not None:
+        lines.append("### Hedge temperature γ\n")
+        lines.append("| γ | Accuracy % | Compression | Probes |")
+        lines.append("|---|---|---|---|")
+        for row in gamma["rows"]:
+            lines.append(
+                f"| {row['gamma']} | {pct(row['accuracy'])} | "
+                f"{row['compression']:.2f}x | {row['probes']} |"
+            )
+        lines.append("")
+    cost = load("ablation_search_cost")
+    if cost is not None:
+        lines.append("### Search cost: CCQ vs HAQ-style RL (iso budget)\n")
+        for method in ("ccq", "haq"):
+            d = cost[method]
+            lines.append(
+                f"* **{method.upper()}**: {pct(d['accuracy'])}% at "
+                f"{d['compression']:.2f}x using {d['training_epochs']} "
+                f"training epochs"
+            )
+        lines.append("")
+    gran = load("ablation_granularity")
+    if gran is not None:
+        lines.append("### Competition granularity\n")
+        for key in ("layer", "block"):
+            d = gran[key]
+            lines.append(
+                f"* **{key}** ({d['experts']} experts): "
+                f"{pct(d['accuracy'])}% at {d['compression']:.2f}x in "
+                f"{d['steps']} steps / {d['probes']} probes"
+            )
+        lines.append("")
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text()
+    if MARKER not in text:
+        text = text.rstrip() + f"\n\n---\n\n{MARKER}\n"
+    head = text.split(MARKER)[0] + MARKER + "\n\n"
+    lines: list = [
+        "_This section is auto-generated by "
+        "`benchmarks/make_experiments_report.py` from the most recent "
+        "`benchmarks/results/*.json`._\n",
+    ]
+    section_table1(lines)
+    section_table2(lines)
+    section_fig1(lines)
+    section_fig2(lines)
+    section_fig3(lines)
+    section_fig4(lines)
+    section_fig5(lines)
+    section_ablations(lines)
+    EXPERIMENTS.write_text(head + "\n".join(lines) + "\n")
+    print(f"wrote {EXPERIMENTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Render the paper's figures as SVG from the benchmark results.
+
+Run after a benchmark pass::
+
+    pytest benchmarks/ --benchmark-only -s
+    python benchmarks/make_figures.py          # writes benchmarks/figures/
+
+Each figure mirrors its counterpart in the paper:
+
+* ``fig1_lambda.svg``   — accuracy (and compression) vs average λ;
+* ``fig2_curve.svg``    — the competitive-collaborative learning curve;
+* ``fig3_recovery.svg`` — manual vs adaptive recovery epochs per step;
+* ``fig4_hybrid.svg``   — hybrid LR profile and recovery accuracy;
+* ``fig5_power.svg``    — MAC power per deployment (log scale).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.utils.svg import Series, bar_chart, line_chart  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+FIGURES = pathlib.Path(__file__).parent / "figures"
+
+
+def load(name: str):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def fig1() -> str | None:
+    data = load("fig1")
+    if data is None:
+        return None
+    rows = [r for r in data["rows"] if not isinstance(r["lambda"], str)]
+    return line_chart(
+        [
+            Series("accuracy %", [r["lambda"] for r in rows],
+                   [r["accuracy"] * 100 for r in rows]),
+            Series("compression /16", [r["lambda"] for r in rows],
+                   [r["compression"] / 16 * 100 for r in rows]),
+        ],
+        title="Fig. 1 — accuracy vs memory-awareness lambda",
+        x_label="average lambda",
+        y_label="top-1 accuracy (%)",
+    )
+
+
+def fig2() -> str | None:
+    data = load("fig2")
+    if data is None:
+        return None
+    trace = data["trace"]
+    return line_chart(
+        [
+            Series(
+                "validation accuracy",
+                [p["epoch"] for p in trace],
+                [p["accuracy"] * 100 for p in trace],
+            )
+        ],
+        title="Fig. 2 — competitive-collaborative learning curve",
+        x_label="epoch",
+        y_label="top-1 accuracy (%)",
+    )
+
+
+def fig3() -> str | None:
+    data = load("fig3")
+    if data is None:
+        return None
+    series = []
+    for mode in ("manual", "adaptive"):
+        epochs = data[mode]["epochs_per_step"]
+        series.append(
+            Series(mode, list(range(len(epochs))), epochs)
+        )
+    return line_chart(
+        series,
+        title="Fig. 3 — recovery epochs per quantization step",
+        x_label="quantization step",
+        y_label="fine-tuning epochs",
+    )
+
+
+def fig4() -> str | None:
+    data = load("fig4")
+    if data is None:
+        return None
+    hybrid = data["hybrid"]
+    const = data["constant"]
+    acc = line_chart(
+        [
+            Series("constant LR",
+                   list(range(len(const["accuracy_history"]))),
+                   [a * 100 for a in const["accuracy_history"]]),
+            Series("hybrid LR",
+                   list(range(len(hybrid["accuracy_history"]))),
+                   [a * 100 for a in hybrid["accuracy_history"]]),
+        ],
+        title="Fig. 4 — recovery under the hybrid LR schedule",
+        x_label="epoch",
+        y_label="top-1 accuracy (%)",
+    )
+    return acc
+
+
+def fig4_lr() -> str | None:
+    data = load("fig4")
+    if data is None or not data["hybrid"]["lr_history"]:
+        return None
+    lrs = data["hybrid"]["lr_history"]
+    return line_chart(
+        [Series("learning rate", list(range(1, len(lrs) + 1)), lrs)],
+        title="Fig. 4 (inset) — hybrid plateau-cosine LR profile",
+        x_label="epoch",
+        y_label="learning rate",
+    )
+
+
+def fig5() -> str | None:
+    data = load("fig5")
+    if data is None:
+        return None
+    rows = data["rows"]
+    groups = [r["network"] for r in rows]
+    configs = ("unquantized", "fp-4b-fp", "fp-2b-fp", "fully-quantized")
+    bars = [
+        (c, [r[c]["total_mw"] for r in rows]) for c in configs
+    ]
+    return bar_chart(
+        groups, bars,
+        title="Fig. 5 — MAC power at iso-throughput (32nm, log scale)",
+        y_label="power (mW, log10)",
+        log_scale=True,
+    )
+
+
+def main() -> int:
+    FIGURES.mkdir(exist_ok=True)
+    outputs = {
+        "fig1_lambda.svg": fig1(),
+        "fig2_curve.svg": fig2(),
+        "fig3_recovery.svg": fig3(),
+        "fig4_hybrid.svg": fig4(),
+        "fig4_lr_profile.svg": fig4_lr(),
+        "fig5_power.svg": fig5(),
+    }
+    written = 0
+    for name, svg in outputs.items():
+        if svg is None:
+            print(f"skip {name} (no results)")
+            continue
+        (FIGURES / name).write_text(svg)
+        print(f"wrote benchmarks/figures/{name}")
+        written += 1
+    return 0 if written else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Full pipeline on ResNet-20: pretrain -> CCQ -> compression + power report.
+
+The complete workflow the paper's Table II rows correspond to, at a
+CPU-friendly scale: train a float ResNet-20 on the synthetic CIFAR10
+stand-in, run CCQ with the memory-aware lambda schedule to a target
+compression, then report the learned per-layer precision, the model-size
+reduction and the MAC power of the result against the float network.
+
+Run:
+    python examples/mixed_precision_resnet.py [--scale smoke|bench]
+                                              [--target-compression 9.0]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import models
+from repro.baselines import PretrainConfig, pretrain
+from repro.core import (
+    CCQConfig,
+    CCQQuantizer,
+    DEFAULT_LADDER,
+    LambdaSchedule,
+    RecoveryConfig,
+    model_size_report,
+)
+from repro.datasets import make_synthetic_cifar10
+from repro.hardware import NODE_32NM_SYNTH, network_power, power_of_config
+from repro.nn.data import DataLoader
+from repro.quantization import quantized_layers
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "bench"), default="smoke")
+    parser.add_argument("--target-compression", type=float, default=9.0)
+    args = parser.parse_args()
+    if args.scale == "smoke":
+        n_train, image, width, epochs = 400, 12, 0.25, 5
+    else:
+        n_train, image, width, epochs = 1200, 16, 0.5, 10
+
+    splits = make_synthetic_cifar10(
+        n_train=n_train, n_val=250, n_test=250, image_size=image, augment=False
+    )
+    train = DataLoader(splits.train, batch_size=64, shuffle=True, seed=0)
+    val = DataLoader(splits.val, batch_size=128)
+
+    net = models.resnet20(width_mult=width, rng=np.random.default_rng(0))
+    print(f"pretraining ResNet-20 (width x{width}, {image}px)...")
+    base = pretrain(net, train, val, PretrainConfig(epochs=epochs, lr=0.05))
+    print(f"float baseline: {base.baseline_accuracy:.3f}")
+
+    config = CCQConfig(
+        ladder=DEFAULT_LADDER,
+        probes_per_step=4,
+        probe_batches=1,
+        lambda_schedule=LambdaSchedule(start=0.7, end=0.2, decay_steps=15),
+        recovery=RecoveryConfig(mode="adaptive", max_epochs=4, slack=0.01),
+        lr=0.02,
+        target_compression=args.target_compression,
+        max_steps=40,
+        seed=0,
+    )
+    print(f"\nrunning CCQ to {args.target_compression:.1f}x compression...")
+    ccq = CCQQuantizer(net, train, val, config=config, policy="pact")
+    result = ccq.run()
+
+    print(f"\nCCQ finished in {len(result.records)} quantization steps "
+          f"({result.probe_forward_passes} competition probes)")
+    print(f"quantized accuracy: {result.final_eval.accuracy:.3f} "
+          f"(degradation {base.baseline_accuracy - result.final_eval.accuracy:+.3f})")
+
+    report = model_size_report(net)
+    print(f"model compression:  {report.compression:.2f}x "
+          f"({report.baseline_bits/8e3:.1f} KB -> {report.total_bits/8e3:.1f} KB)")
+
+    print("\nlearned per-layer precision:")
+    from repro.nn.summary import format_summary, summarize
+
+    print(format_summary(summarize(net, (3, image, image))))
+
+    input_shape = (3, image, image)
+    quant_power = network_power(net, input_shape, node=NODE_32NM_SYNTH)
+    fp_power = power_of_config(
+        net, input_shape,
+        [(None, None)] * len(quantized_layers(net)),
+        node=NODE_32NM_SYNTH,
+    )
+    print(f"\nMAC power at 30 fps (32nm synth model):")
+    print(f"  float:     {fp_power.total_watts*1e3:9.3f} mW")
+    print(f"  quantized: {quant_power.total_watts*1e3:9.3f} mW "
+          f"({fp_power.total_watts/quant_power.total_watts:.1f}x less)")
+
+
+if __name__ == "__main__":
+    main()

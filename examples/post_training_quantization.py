@@ -1,0 +1,104 @@
+"""Static (post-training) quantization with ACIQ and KL calibration.
+
+The paper's related-work section contrasts CCQ against *static*
+quantization — take a trained model, pick clipping thresholds from the
+weight/activation statistics, and quantize without retraining.  This
+example demonstrates both calibrators on a pretrained network and shows
+why the accuracy-driven, fine-tuned approaches win at low precision:
+
+  * max-calibration (clip at the observed maximum),
+  * ACIQ (analytic clip assuming a Gaussian/Laplace fit),
+  * KL divergence calibration (TensorRT-style histogram search),
+  * and PACT quantization-aware fine-tuning as the reference point.
+
+Run:
+    python examples/post_training_quantization.py
+"""
+
+import numpy as np
+
+from repro import models
+from repro.baselines import PretrainConfig, pretrain
+from repro.core import evaluate, make_sgd, train_epoch
+from repro.datasets import make_synthetic_cifar10
+from repro.nn.data import DataLoader
+from repro.quantization import (
+    HistogramObserver,
+    aciq_clip,
+    kl_divergence_clip,
+    quantize_array_symmetric,
+    quantize_model,
+    quantized_layers,
+    set_uniform_bits,
+)
+
+BITS = 3
+
+
+def apply_static(model, clip_fn) -> None:
+    """Overwrite every conv/linear weight with its statically quantized copy."""
+    for name, layer in quantized_layers(model):
+        w = layer.weight.data
+        alpha = clip_fn(w)
+        layer.weight.data[...] = quantize_array_symmetric(w, BITS, alpha)
+
+
+def main() -> None:
+    splits = make_synthetic_cifar10(
+        n_train=600, n_val=200, n_test=200, image_size=12, augment=False
+    )
+    train = DataLoader(splits.train, batch_size=64, shuffle=True, seed=0)
+    val = DataLoader(splits.val, batch_size=128)
+
+    net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+    base = pretrain(net, train, val, PretrainConfig(epochs=8, lr=0.05))
+    state = net.state_dict()
+    print(f"float baseline: {base.baseline_accuracy:.3f}\n")
+    print(f"{'method':<22} {'top-1':>7}")
+
+    def fresh():
+        m = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+        m.load_state_dict(state)
+        quantize_model(m, "pact")  # gives us the layer handles
+        return m
+
+    # -- static: max calibration ------------------------------------------------
+    m = fresh()
+    apply_static(m, lambda w: float(np.abs(w).max()))
+    print(f"{'static max-clip':<22} {evaluate(m, val).accuracy:7.3f}")
+
+    # -- static: ACIQ ---------------------------------------------------------------
+    m = fresh()
+    apply_static(m, lambda w: aciq_clip(w, bits=BITS, dist="auto"))
+    print(f"{'static ACIQ':<22} {evaluate(m, val).accuracy:7.3f}")
+
+    # -- static: KL calibration --------------------------------------------------------
+    def kl_clip(w):
+        obs = HistogramObserver(n_bins=512)
+        obs.observe(w)
+        counts, max_abs = obs.histogram()
+        return kl_divergence_clip(counts, max_abs, bits=BITS)
+
+    m = fresh()
+    apply_static(m, kl_clip)
+    print(f"{'static KL (TensorRT)':<22} {evaluate(m, val).accuracy:7.3f}")
+
+    # -- QAT reference: PACT fake-quant + fine-tuning (weights only, to
+    # match the static methods above, which also leave activations fp) ---------
+    m = fresh()
+    set_uniform_bits(m, BITS, None)
+    opt = make_sgd(m, lr=0.02)
+    for _ in range(3):
+        train_epoch(m, train, opt)
+    print(f"{'PACT QAT (3 epochs)':<22} {evaluate(m, val).accuracy:7.3f}")
+
+    print(
+        "\nStatic calibration limits the damage (ACIQ/KL beat naive "
+        "max-clipping) but cannot reach the accuracy of quantization-aware "
+        "fine-tuning — the motivation for accuracy-driven frameworks "
+        "like CCQ."
+    )
+
+
+if __name__ == "__main__":
+    main()

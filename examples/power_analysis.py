@@ -1,0 +1,86 @@
+"""Power analysis: why quantizing the first/last layers matters (Fig. 5).
+
+Uses the bit-width-aware MAC energy model to compare, at iso-throughput,
+a ResNet in four deployments: unquantized, partially quantized with
+full-precision first/last layers (fp-4b-fp, fp-2b-fp), and fully
+quantized mixed precision.  The full-precision edge layers — despite
+holding few parameters — dominate the power budget of the partially
+quantized deployments.
+
+Run:
+    python examples/power_analysis.py [--network resnet20|resnet18|resnet50]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import models
+from repro.hardware import (
+    NODE_32NM_SYNTH,
+    mac_energy_pj,
+    power_of_config,
+    trace_layer_macs,
+)
+
+NETWORKS = {
+    "resnet20": (lambda: models.resnet20(rng=np.random.default_rng(0)),
+                 (3, 32, 32), (6, 2)),
+    "resnet18": (lambda: models.resnet18(num_classes=1000,
+                                         rng=np.random.default_rng(0)),
+                 (3, 64, 64), (6, 6)),
+    "resnet50": (lambda: models.resnet50(num_classes=1000,
+                                         rng=np.random.default_rng(0)),
+                 (3, 64, 64), (8, 3)),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", choices=sorted(NETWORKS), default="resnet20")
+    parser.add_argument("--fps", type=float, default=30.0)
+    args = parser.parse_args()
+
+    make_model, input_shape, (first, last) = NETWORKS[args.network]
+    model = make_model()
+    entries = trace_layer_macs(model, input_shape)
+    n = len(entries)
+    total_macs = sum(e.macs for e in entries)
+    print(f"{args.network}: {n} compute layers, {total_macs/1e6:.1f}M MACs "
+          f"per inference at {input_shape[1]}x{input_shape[2]}\n")
+
+    print("MAC energy at 32nm (synthesized-unit calibration):")
+    for bits in (2, 3, 4, 6, 8, None):
+        label = "fp32" if bits is None else f"int{bits}"
+        print(f"  {label:>5}: {mac_energy_pj(bits, bits, NODE_32NM_SYNTH):7.3f} pJ")
+
+    configs = {
+        "unquantized": [(None, None)] * n,
+        "fp-4b-fp": [(None, None)] + [(4, 4)] * (n - 2) + [(None, None)],
+        "fp-2b-fp": [(None, None)] + [(2, 2)] * (n - 2) + [(None, None)],
+        f"fully-quantized ({first}b/{last}b edges)": (
+            [(first, first)] + [(2, 2)] * (n - 2) + [(last, last)]
+        ),
+    }
+    print(f"\nnetwork power at {args.fps:.0f} fps:")
+    for name, bit_config in configs.items():
+        report = power_of_config(
+            model, input_shape, bit_config, fps=args.fps, node=NODE_32NM_SYNTH
+        )
+        print(
+            f"  {name:<34} total {report.total_watts*1e3:9.3f} mW | "
+            f"first+last {report.edge_watts*1e3:9.3f} mW | "
+            f"middle {report.middle_watts*1e3:8.3f} mW | "
+            f"edge/middle {report.edge_to_middle_ratio:6.1f}x"
+        )
+
+    print(
+        "\nThe fp first/last pair of the partially quantized deployments "
+        "draws several times the power of the whole quantized middle — "
+        "CCQ's ability to quantize those layers (gradually, without the "
+        "accuracy cliff) removes that bottleneck."
+    )
+
+
+if __name__ == "__main__":
+    main()

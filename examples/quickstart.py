@@ -1,0 +1,80 @@
+"""Quickstart: quantize a small convnet with CCQ in ~a minute.
+
+Pipeline: pretrain a float network on the synthetic CIFAR10 stand-in,
+then let the competitive-collaborative framework gradually walk every
+layer down the bit ladder while recovering accuracy between steps.
+
+Run:
+    python examples/quickstart.py [--scale smoke|bench]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import models
+from repro.baselines import PretrainConfig, pretrain
+from repro.core import (
+    BitLadder,
+    CCQConfig,
+    CCQQuantizer,
+    LambdaSchedule,
+    RecoveryConfig,
+)
+from repro.datasets import make_synthetic_cifar10
+from repro.nn.data import DataLoader
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "bench"), default="smoke")
+    args = parser.parse_args()
+    n_train = 400 if args.scale == "smoke" else 1200
+    image = 12 if args.scale == "smoke" else 16
+
+    splits = make_synthetic_cifar10(
+        n_train=n_train, n_val=200, n_test=200, image_size=image, augment=False
+    )
+    train = DataLoader(splits.train, batch_size=64, shuffle=True, seed=0)
+    val = DataLoader(splits.val, batch_size=128)
+
+    print("== 1. pretrain a float baseline ==")
+    net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+    base = pretrain(net, train, val, PretrainConfig(epochs=8, lr=0.05))
+    print(f"float baseline accuracy: {base.baseline_accuracy:.3f}")
+
+    print("\n== 2. run CCQ (policy: PACT, ladder 8->4->2) ==")
+    config = CCQConfig(
+        ladder=BitLadder((8, 4, 2)),
+        probes_per_step=4,
+        probe_batches=1,
+        lambda_schedule=LambdaSchedule(start=0.7, end=0.2, decay_steps=8),
+        recovery=RecoveryConfig(mode="adaptive", max_epochs=4, slack=0.02),
+        lr=0.02,
+        target_compression=8.0,
+        seed=0,
+    )
+    ccq = CCQQuantizer(net, train, val, config=config, policy="pact")
+    result = ccq.run()
+
+    print(f"\nsteps taken: {len(result.records)}")
+    for rec in result.records:
+        print(
+            f"  step {rec.step}: {rec.layer_name} "
+            f"{rec.from_bits}b -> {rec.to_bits}b | "
+            f"valley {rec.post_quant_accuracy:.3f} -> "
+            f"peak {rec.recovered_accuracy:.3f} "
+            f"({rec.recovery.epochs_used} recovery epochs)"
+        )
+
+    print("\n== 3. results ==")
+    print(f"final accuracy:    {result.final_eval.accuracy:.3f} "
+          f"(baseline {base.baseline_accuracy:.3f})")
+    print(f"model compression: {result.compression:.2f}x")
+    print("per-layer bits (weights/activations):")
+    for name, (w_bits, a_bits) in result.bit_config.items():
+        print(f"  {name:<10} {w_bits}/{a_bits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command reproduction: tests, every table/figure benchmark, the
+# paper-vs-measured report and the SVG figures.
+#
+#   bash scripts/reproduce_all.sh [smoke|bench|paper]
+#
+# smoke (default) finishes in about an hour on one CPU.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-smoke}"
+export REPRO_BENCH_SCALE="$SCALE"
+
+echo "== 1/4 unit + integration tests =="
+python3 -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== 2/4 table/figure benchmarks (scale: $SCALE) =="
+python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== 3/4 regenerate EXPERIMENTS.md =="
+python3 benchmarks/make_experiments_report.py
+
+echo "== 4/4 render figures =="
+python3 benchmarks/make_figures.py
+
+echo "done: see EXPERIMENTS.md, benchmarks/figures/, test_output.txt, bench_output.txt"

@@ -1,0 +1,44 @@
+"""repro — Competitive-Collaborative Quantization (CCQ, DAC 2020).
+
+A full-stack reproduction of *"Learning to Quantize Deep Neural Networks:
+A Competitive-Collaborative Approach"*: an accuracy-driven, policy-
+agnostic, mixed-precision quantization framework, together with every
+substrate it needs — a numpy deep-learning framework (``repro.nn``),
+ResNet architectures (``repro.models``), the quantization-policy zoo
+(``repro.quantization``), baselines (``repro.baselines``), a MAC power
+model (``repro.hardware``) and synthetic datasets (``repro.datasets``).
+
+Quickstart::
+
+    from repro import models, datasets
+    from repro.core import CCQQuantizer, CCQConfig
+    from repro.nn.data import DataLoader
+
+    splits = datasets.make_synthetic_cifar10(image_size=16)
+    net = models.resnet20(width_mult=0.5)
+    ccq = CCQQuantizer(
+        net,
+        DataLoader(splits.train, batch_size=64, shuffle=True),
+        DataLoader(splits.val, batch_size=128),
+        policy="pact",
+    )
+    result = ccq.run()
+    print(result.bit_config, result.compression)
+"""
+
+from . import baselines, core, datasets, experiments, hardware, models, nn, quantization, utils
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "datasets",
+    "hardware",
+    "models",
+    "nn",
+    "quantization",
+    "experiments",
+    "utils",
+    "__version__",
+]

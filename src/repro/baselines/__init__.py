@@ -1,0 +1,47 @@
+"""``repro.baselines`` — the comparison points of Tables I and II.
+
+* :func:`pretrain` — the shared full-precision starting checkpoint.
+* :func:`one_shot_quantize` — conventional QAT: jump to the target bit
+  configuration at once, then fine-tune (Table I's "one-shot" rows).
+* :func:`uniform_quantize` — uniform-precision rows with fp first/last
+  (the DoReFa/PACT/SAWB/LQ-Nets/QIL lines of Table II).
+* :func:`hawq_quantize` — Hessian-sensitivity mixed-precision assignment
+  (the HAWQ lines of Table II), built on a finite-difference Hutchinson
+  trace estimator.
+"""
+
+from .haq import HAQConfig, HAQEpisode, HAQResult, haq_search
+from .hawq import (
+    LayerSensitivity,
+    assign_bits_by_sensitivity,
+    estimate_layer_sensitivities,
+    hawq_quantize,
+)
+from .oneshot import (
+    OneShotConfig,
+    OneShotResult,
+    edge_aware_config,
+    one_shot_quantize,
+)
+from .pretrain import PretrainConfig, PretrainResult, pretrain
+from .uniform import TableRow, uniform_quantize
+
+__all__ = [
+    "pretrain",
+    "PretrainConfig",
+    "PretrainResult",
+    "one_shot_quantize",
+    "OneShotConfig",
+    "OneShotResult",
+    "edge_aware_config",
+    "uniform_quantize",
+    "TableRow",
+    "hawq_quantize",
+    "haq_search",
+    "HAQConfig",
+    "HAQEpisode",
+    "HAQResult",
+    "estimate_layer_sensitivities",
+    "assign_bits_by_sensitivity",
+    "LayerSensitivity",
+]

@@ -1,0 +1,174 @@
+"""HAQ-style reinforcement-learning bit search (Wang et al., CVPR 2019).
+
+HAQ searches per-layer bit widths with an RL agent trained on quantize →
+fine-tune → reward episodes under a resource constraint.  We implement
+the search as REINFORCE with a running baseline over per-layer categorical
+bit choices (HAQ's DDPG actor reduces to this on a discrete menu), with
+HAQ's constrained action remapping: configurations over the size budget
+are repaired by greedily demoting the largest layers until the budget
+holds.
+
+The paper under reproduction argues that "the exploration phase for the
+agent is vast and can take a significantly long time" compared to CCQ's
+feed-forward probes; ``benchmarks/bench_ablation_search_cost.py`` uses
+this implementation to measure exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..core.compression import model_size_report
+from ..core.training import evaluate, make_sgd, train_epoch
+from ..quantization.qmodules import quantized_layers, set_bit_config
+
+__all__ = ["HAQConfig", "HAQEpisode", "HAQResult", "haq_search"]
+
+BitPair = Tuple[Optional[int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class HAQConfig:
+    """Search budget and agent hyper-parameters."""
+
+    episodes: int = 8
+    finetune_epochs: int = 1
+    bit_menu: Tuple[int, ...] = (2, 3, 4, 8)
+    target_compression: float = 8.0
+    policy_lr: float = 0.5
+    temperature: float = 1.0
+    seed: int = 0
+    max_batches_per_epoch: Optional[int] = None
+
+
+@dataclass
+class HAQEpisode:
+    """One rollout of the agent."""
+
+    bit_config: Dict[str, BitPair]
+    accuracy: float
+    compression: float
+    reward: float
+
+
+@dataclass
+class HAQResult:
+    """Search outcome and cost accounting."""
+
+    best: HAQEpisode
+    episodes: List[HAQEpisode] = field(default_factory=list)
+    finetune_epochs_spent: int = 0
+
+    @property
+    def search_cost_epochs(self) -> int:
+        """Total fine-tuning epochs burned by the search."""
+        return self.finetune_epochs_spent
+
+
+def _repair_to_budget(
+    choice: np.ndarray,
+    sizes: np.ndarray,
+    menu: Sequence[int],
+    budget_bits: float,
+) -> np.ndarray:
+    """HAQ's constrained remapping: demote biggest layers until in budget."""
+    choice = choice.copy()
+    menu_arr = np.asarray(menu)
+
+    def total() -> float:
+        return float((sizes * menu_arr[choice]).sum())
+
+    while total() > budget_bits:
+        # Demote the layer with the largest current storage that can
+        # still go down a menu step.
+        storage = sizes * menu_arr[choice]
+        order = np.argsort(-storage)
+        for idx in order:
+            if choice[idx] > 0:
+                choice[idx] -= 1
+                break
+        else:
+            break  # everything at the menu floor; cannot repair further
+    return choice
+
+
+def haq_search(
+    make_pretrained: Callable[[], Module],
+    train_loader: DataLoader,
+    val_loader: DataLoader,
+    config: Optional[HAQConfig] = None,
+) -> HAQResult:
+    """Run the RL bit search.
+
+    ``make_pretrained`` must return a *quantized* (converted) model loaded
+    with the pretrained float checkpoint; each episode consumes a fresh
+    copy so fine-tuning never leaks across rollouts.
+    """
+    config = config or HAQConfig()
+    rng = np.random.default_rng(config.seed)
+    menu = sorted(config.bit_menu)
+
+    probe_model = make_pretrained()
+    layers = quantized_layers(probe_model)
+    if not layers:
+        raise ValueError("make_pretrained() must return a quantized model")
+    names = [name for name, _ in layers]
+    sizes = np.asarray([layer.weight.size for _, layer in layers], float)
+    budget_bits = sizes.sum() * 32.0 / config.target_compression
+
+    # Per-layer categorical policy over the menu (REINFORCE).
+    logits = np.zeros((len(names), len(menu)))
+    reward_baseline = 0.0
+    episodes: List[HAQEpisode] = []
+    epochs_spent = 0
+
+    for episode_index in range(config.episodes):
+        probs = np.exp(logits / config.temperature)
+        probs /= probs.sum(axis=1, keepdims=True)
+        choice = np.array(
+            [rng.choice(len(menu), p=p) for p in probs], dtype=int
+        )
+        choice = _repair_to_budget(choice, sizes, menu, budget_bits)
+
+        bit_config: Dict[str, BitPair] = {
+            name: (menu[c], menu[c]) for name, c in zip(names, choice)
+        }
+        model = make_pretrained()
+        set_bit_config(model, bit_config)
+        optimizer = make_sgd(model, lr=0.02)
+        for _ in range(config.finetune_epochs):
+            train_epoch(
+                model, train_loader, optimizer,
+                max_batches=config.max_batches_per_epoch,
+            )
+            epochs_spent += 1
+        result = evaluate(model, val_loader)
+        compression = model_size_report(model).compression
+        reward = result.accuracy
+
+        episodes.append(
+            HAQEpisode(
+                bit_config=bit_config,
+                accuracy=result.accuracy,
+                compression=compression,
+                reward=reward,
+            )
+        )
+
+        # REINFORCE with a running mean baseline.
+        advantage = reward - reward_baseline
+        reward_baseline += 0.3 * advantage
+        for row, (p, c) in enumerate(zip(probs, choice)):
+            grad = -p
+            grad[c] += 1.0
+            logits[row] += config.policy_lr * advantage * grad
+
+    best = max(episodes, key=lambda e: e.accuracy)
+    return HAQResult(
+        best=best, episodes=episodes, finetune_epochs_spent=epochs_spent
+    )

@@ -1,0 +1,120 @@
+"""One-shot quantization baseline (Table I's comparison point).
+
+"One-shot" is the paper's name for the conventional QAT recipe: take a
+pretrained full-precision network, drop every layer to its target bit
+configuration *at once*, then fine-tune.  CCQ reaches the identical final
+configuration *gradually* and recovers between steps; Table I shows the
+gradual path ends at a better optimum for every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..quantization.policy import QuantPolicy
+from ..quantization.qmodules import quantize_model, quantized_layers
+from ..core.compression import model_size_report
+from ..core.training import EvalResult, evaluate, make_sgd, train_epoch
+
+__all__ = ["OneShotConfig", "OneShotResult", "one_shot_quantize", "edge_aware_config"]
+
+BitPair = Tuple[Optional[int], Optional[int]]
+
+
+def edge_aware_config(
+    model: Module,
+    middle_bits: Optional[int],
+    first_bits: Optional[int] = None,
+    last_bits: Optional[int] = None,
+) -> Dict[str, BitPair]:
+    """Bit configuration with distinct first/last-layer precision.
+
+    ``None`` keeps a layer at full precision — ``edge_aware_config(m, 3)``
+    is the classic ``fp-3b-fp`` pattern of DoReFa/WRPN/PACT papers.
+    The model must already contain quantized layers.
+    """
+    layers = quantized_layers(model)
+    if not layers:
+        raise ValueError("model has no quantized layers")
+    config: Dict[str, BitPair] = {}
+    last_index = len(layers) - 1
+    for i, (name, _) in enumerate(layers):
+        if i == 0:
+            bits = first_bits
+        elif i == last_index:
+            bits = last_bits
+        else:
+            bits = middle_bits
+        config[name] = (bits, bits)
+    return config
+
+
+@dataclass(frozen=True)
+class OneShotConfig:
+    """Fine-tuning recipe after the single quantization jump."""
+
+    epochs: int = 5
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    max_batches_per_epoch: Optional[int] = None
+
+
+@dataclass
+class OneShotResult:
+    """Outcome of a one-shot quantization run."""
+
+    final: EvalResult
+    post_quant: EvalResult          # right after the jump, before tuning
+    compression: float
+    bit_config: Dict[str, BitPair]
+    accuracy_history: List[float] = field(default_factory=list)
+
+
+def one_shot_quantize(
+    model: Module,
+    train_loader: DataLoader,
+    val_loader: DataLoader,
+    bit_config: Dict[str, BitPair],
+    policy: "QuantPolicy | str | None" = None,
+    config: Optional[OneShotConfig] = None,
+) -> OneShotResult:
+    """Quantize to ``bit_config`` in one step, then fine-tune.
+
+    ``bit_config`` maps layer names to ``(w_bits, a_bits)`` pairs, with
+    ``None`` meaning full precision.
+    """
+    config = config or OneShotConfig()
+    if policy is not None:
+        quantize_model(model, policy)
+    layers = dict(quantized_layers(model))
+    for name, (w_bits, a_bits) in bit_config.items():
+        if name not in layers:
+            raise KeyError(f"no quantized layer named {name!r}")
+        layers[name].w_bits = w_bits
+        layers[name].a_bits = a_bits
+
+    post_quant = evaluate(model, val_loader)
+    optimizer = make_sgd(
+        model,
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    history: List[float] = []
+    for _ in range(config.epochs):
+        train_epoch(
+            model, train_loader, optimizer,
+            max_batches=config.max_batches_per_epoch,
+        )
+        history.append(evaluate(model, val_loader).accuracy)
+    return OneShotResult(
+        final=evaluate(model, val_loader),
+        post_quant=post_quant,
+        compression=model_size_report(model).compression,
+        bit_config=dict(bit_config),
+        accuracy_history=history,
+    )

@@ -1,0 +1,79 @@
+"""Full-precision pretraining — the common starting point of every run.
+
+Every experiment in the paper begins from a trained full-precision
+baseline whose top-1 accuracy anchors the "degradation" column of
+Table II.  This module provides that trainer with the usual SGD +
+step-decay recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..nn.schedule import StepLR
+from ..core.training import EvalResult, evaluate, make_sgd, train_epoch
+
+__all__ = ["PretrainConfig", "PretrainResult", "pretrain"]
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """Hyper-parameters of the float pretraining run."""
+
+    epochs: int = 10
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_step: int = 6            # StepLR decay point
+    lr_gamma: float = 0.1
+    max_batches_per_epoch: Optional[int] = None
+
+
+@dataclass
+class PretrainResult:
+    """Baseline accuracy and per-epoch history."""
+
+    final: EvalResult
+    accuracy_history: List[float] = field(default_factory=list)
+    loss_history: List[float] = field(default_factory=list)
+
+    @property
+    def baseline_accuracy(self) -> float:
+        return self.final.accuracy
+
+
+def pretrain(
+    model: Module,
+    train_loader: DataLoader,
+    val_loader: DataLoader,
+    config: Optional[PretrainConfig] = None,
+) -> PretrainResult:
+    """Train ``model`` at full precision and report the baseline."""
+    config = config or PretrainConfig()
+    optimizer = make_sgd(
+        model,
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        include_quantizer_params=False,
+    )
+    scheduler = StepLR(optimizer, step_size=config.lr_step, gamma=config.lr_gamma)
+    accs: List[float] = []
+    losses: List[float] = []
+    for _ in range(config.epochs):
+        loss = train_epoch(
+            model, train_loader, optimizer,
+            max_batches=config.max_batches_per_epoch,
+        )
+        result = evaluate(model, val_loader)
+        losses.append(loss)
+        accs.append(result.accuracy)
+        scheduler.step(metric=result.accuracy)
+    return PretrainResult(
+        final=evaluate(model, val_loader),
+        accuracy_history=accs,
+        loss_history=losses,
+    )

@@ -1,0 +1,80 @@
+"""Uniform-precision baseline rows (the non-MP lines of Table II).
+
+Each baseline framework in Table II (DoReFa, PACT, PACT-SAWB, LQ-Nets,
+QIL/LSQ) quantizes every middle layer to the same ``W/A`` precision while
+keeping the first and last layers at full precision.  This module runs
+that recipe for any registered policy and returns a row matching the
+table's columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..quantization.qmodules import quantize_model
+from .oneshot import OneShotConfig, OneShotResult, edge_aware_config, one_shot_quantize
+
+__all__ = ["TableRow", "uniform_quantize"]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One line of a Table II-style comparison."""
+
+    framework: str
+    baseline_top1: float
+    bits: str              # "3/3" or "MP"
+    first_last: str        # "32/32" or "MP"
+    quantized_top1: float
+    compression: float
+    degradation: float
+
+    def formatted(self) -> str:
+        return (
+            f"{self.framework:<18} {self.baseline_top1*100:7.2f} "
+            f"{self.bits:>6} {self.first_last:>8} "
+            f"{self.quantized_top1*100:9.2f} {self.compression:9.2f}x "
+            f"{self.degradation*100:8.2f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'Framework':<18} {'Base%':>7} {'Bits':>6} {'1st/last':>8} "
+            f"{'Quant%':>9} {'Compr':>10} {'Degr%':>8}"
+        )
+
+
+def uniform_quantize(
+    model: Module,
+    train_loader: DataLoader,
+    val_loader: DataLoader,
+    policy: str,
+    bits: int,
+    baseline_accuracy: float,
+    first_last_fp: bool = True,
+    config: Optional[OneShotConfig] = None,
+    framework_name: Optional[str] = None,
+) -> "tuple[TableRow, OneShotResult]":
+    """Run one uniform-precision baseline and format it as a table row."""
+    quantize_model(model, policy)
+    edge = None if first_last_fp else bits
+    bit_config = edge_aware_config(
+        model, middle_bits=bits, first_bits=edge, last_bits=edge
+    )
+    result = one_shot_quantize(
+        model, train_loader, val_loader, bit_config, policy=None, config=config
+    )
+    row = TableRow(
+        framework=framework_name or policy,
+        baseline_top1=baseline_accuracy,
+        bits=f"{bits}/{bits}",
+        first_last="32/32" if first_last_fp else f"{bits}/{bits}",
+        quantized_top1=result.final.accuracy,
+        compression=result.compression,
+        degradation=baseline_accuracy - result.final.accuracy,
+    )
+    return row, result

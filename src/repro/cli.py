@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``run-ccq``
+    Pretrain one of the paper's network/dataset combinations and run the
+    full CCQ pipeline on it, printing the step log, the learned bit
+    configuration, compression and a power summary.
+
+``policies``
+    List the registered quantization policies.
+
+``power``
+    Print the MAC-energy table of the hardware model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from . import __version__
+from .core import (
+    CCQConfig,
+    CCQQuantizer,
+    DEFAULT_LADDER,
+    LambdaSchedule,
+    RecoveryConfig,
+)
+from .experiments import SCALES, TASK_NAMES, build_task
+from .hardware import NODE_32NM, NODE_32NM_SYNTH, mac_energy_pj, network_power
+from .quantization import available_policies
+
+
+def _cmd_policies(_: argparse.Namespace) -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    node = NODE_32NM_SYNTH if args.synth else NODE_32NM
+    print(f"MAC energy per op at {node.name}:")
+    for bits in (1, 2, 3, 4, 6, 8, 16, None):
+        label = "fp32" if bits is None else f"int{bits}"
+        print(f"  {label:>5}: {mac_energy_pj(bits, bits, node):8.4f} pJ")
+    return 0
+
+
+def _cmd_run_ccq(args: argparse.Namespace) -> int:
+    task = build_task(args.task, scale=args.scale)
+    print(f"task: {task.name} (scale {args.scale})")
+    print("pretraining float baseline...")
+    model, baseline = task.pretrained_model()
+    print(f"baseline accuracy: {baseline:.3f}")
+
+    train, val = task.loaders()
+    config = CCQConfig(
+        ladder=DEFAULT_LADDER,
+        probes_per_step=args.probes,
+        probe_batches=1,
+        lambda_schedule=LambdaSchedule(start=0.7, end=0.2, decay_steps=15),
+        recovery=RecoveryConfig(
+            mode="adaptive",
+            max_epochs=task.scale.finetune_epochs + 1,
+            slack=0.01,
+        ),
+        lr=args.lr,
+        target_compression=args.target_compression,
+        max_steps=args.max_steps,
+        seed=args.seed,
+    )
+    groups = None
+    if args.block_granularity:
+        from .core import residual_block_groups
+        from .quantization import quantize_model
+
+        quantize_model(model, args.policy)
+        groups = residual_block_groups(model)
+        print(f"block granularity: {len(groups)} experts")
+    ccq = CCQQuantizer(
+        model, train, val, config=config, policy=args.policy, groups=groups
+    )
+    result = ccq.run()
+
+    for rec in result.records:
+        print(
+            f"step {rec.step:3d}: {rec.layer_name:<24} "
+            f"{rec.from_bits}b->{rec.to_bits}b  "
+            f"valley {rec.post_quant_accuracy:.3f} "
+            f"peak {rec.recovered_accuracy:.3f} "
+            f"({rec.recovery.epochs_used} ep)"
+        )
+    print(f"\nfinal accuracy: {result.final_eval.accuracy:.3f} "
+          f"(degradation {baseline - result.final_eval.accuracy:+.3f})")
+    print(f"compression:    {result.compression:.2f}x")
+    power = network_power(model, task.input_shape, node=NODE_32NM_SYNTH)
+    print(f"MAC power:      {power.total_watts*1e3:.3f} mW @30fps")
+
+    if args.output:
+        payload = {
+            "task": task.name,
+            "scale": args.scale,
+            "policy": args.policy,
+            "baseline": baseline,
+            "final_accuracy": result.final_eval.accuracy,
+            "compression": result.compression,
+            "bit_config": {
+                k: list(v) for k, v in result.bit_config.items()
+            },
+        }
+        with open(args.output, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CCQ (DAC 2020) reproduction CLI"
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run-ccq", help="run the full CCQ pipeline")
+    p_run.add_argument("--task", choices=TASK_NAMES,
+                       default="resnet20_cifar10")
+    p_run.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    p_run.add_argument("--policy", default="pact")
+    p_run.add_argument("--target-compression", type=float, default=9.0)
+    p_run.add_argument("--max-steps", type=int, default=40)
+    p_run.add_argument("--probes", type=int, default=4)
+    p_run.add_argument("--lr", type=float, default=0.02)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--block-granularity", action="store_true",
+        help="compete at residual-block granularity instead of per layer",
+    )
+    p_run.add_argument("--output", help="write a JSON summary here")
+    p_run.set_defaults(func=_cmd_run_ccq)
+
+    p_pol = sub.add_parser("policies", help="list quantization policies")
+    p_pol.set_defaults(func=_cmd_policies)
+
+    p_pow = sub.add_parser("power", help="print the MAC energy table")
+    p_pow.add_argument("--synth", action="store_true",
+                       help="use the synthesis-calibrated node")
+    p_pow.set_defaults(func=_cmd_power)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""``repro.core`` — the paper's contribution: the CCQ framework."""
+
+from .analysis import LayerProbe, SensitivityReport, scan_layer_sensitivity
+from .ccq import CCQConfig, CCQQuantizer, CCQResult, StepRecord
+from .collaboration import RecoveryConfig, RecoveryReport, recover
+from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
+from .grouping import group_by_prefix, residual_block_groups
+from .compression import (
+    LayerSize,
+    ModelSizeReport,
+    compression_ratio,
+    model_size_report,
+)
+from .schedule import DEFAULT_LADDER, BitLadder
+from .training import EvalResult, evaluate, make_sgd, train_epoch
+
+__all__ = [
+    "LayerProbe",
+    "SensitivityReport",
+    "scan_layer_sensitivity",
+    "group_by_prefix",
+    "residual_block_groups",
+    "CCQConfig",
+    "CCQQuantizer",
+    "CCQResult",
+    "StepRecord",
+    "RecoveryConfig",
+    "RecoveryReport",
+    "recover",
+    "HedgeCompetition",
+    "CompetitionResult",
+    "LambdaSchedule",
+    "BitLadder",
+    "DEFAULT_LADDER",
+    "LayerSize",
+    "ModelSizeReport",
+    "model_size_report",
+    "compression_ratio",
+    "EvalResult",
+    "evaluate",
+    "train_epoch",
+    "make_sgd",
+]

@@ -1,0 +1,444 @@
+"""The Competitive-Collaborative Quantization driver (Algorithm 1).
+
+:class:`CCQQuantizer` orchestrates the full framework of the paper:
+
+1. quantize every layer to the ladder's starting precision ``N^(0)`` and
+   briefly fine-tune;
+2. repeat until every layer sleeps (or a step/compression budget is hit):
+
+   a. **competition** — probe candidate one-layer quantizations on the
+      validation set, update the exponential-weights distribution, mix in
+      the memory term (Eq. 7), and draw a winner;
+   b. quantize the winner to its next bit level;
+   c. **collaboration** — fine-tune all layers (weights + quantizer
+      parameters) until the accuracy recovers.
+
+The driver is *policy-agnostic*: it accepts any registered quantization
+policy (or an already-converted model) and only ever manipulates per-layer
+bit widths.  Passing ``target_config`` pins each layer's final precision,
+which is how Table I forces CCQ to reach the exact ``fp-3b-fp``
+configuration of the one-shot baselines, but gradually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..quantization.policy import QuantPolicy
+from ..quantization.qmodules import (
+    get_bit_config,
+    quantize_model,
+    quantized_layers,
+)
+from .collaboration import RecoveryConfig, RecoveryReport, recover
+from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
+from .compression import model_size_report
+from .schedule import DEFAULT_LADDER, BitLadder
+from .training import EvalResult, evaluate, make_sgd, train_epoch
+
+__all__ = ["CCQConfig", "StepRecord", "CCQResult", "CCQQuantizer"]
+
+BitTarget = Optional[int]
+
+
+@dataclass(frozen=True)
+class CCQConfig:
+    """All knobs of the framework, with the paper's defaults."""
+
+    ladder: BitLadder = DEFAULT_LADDER
+    gamma: float = 1.0
+    probes_per_step: int = 8
+    probe_batches: Optional[int] = 2     # val-subset size for probes
+    lambda_schedule: Optional[LambdaSchedule] = None
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    max_steps: Optional[int] = None      # T (None = until all layers sleep)
+    target_compression: Optional[float] = None
+    initial_recovery_epochs: int = 1
+    # Recover the initial N^(0) quantization with the full collaboration
+    # machinery (adaptive, targeting the float accuracy) instead of a
+    # fixed epoch count.  Policies whose activation transform is lossy
+    # even at high bits (e.g. DoReFa's [0, 1] clip) need this: without
+    # it the run starts from a collapsed reference and the adaptive
+    # recoveries never engage.
+    initial_recovery_adaptive: bool = True
+    quantize_activations: bool = True    # step a_bits together with w_bits
+    # What |Q_m| measures in the Eq. 7 memory mixing: "memory" (the
+    # paper's storage bits) or "macs" (compute cost — a hardware-aware
+    # variant in the spirit of HAQ's latency/energy constraints, which
+    # prioritizes quantizing the layers that dominate MAC energy).
+    size_metric: str = "memory"
+    # Input shape (C, H, W) used to trace per-layer MACs when
+    # size_metric="macs"; required in that mode.
+    input_shape: Optional[Tuple[int, int, int]] = None
+    seed: int = 0
+
+
+@dataclass
+class StepRecord:
+    """Everything that happened in one quantization step."""
+
+    step: int
+    layer_index: int
+    layer_name: str
+    from_bits: int
+    to_bits: int
+    lambda_used: float
+    pre_accuracy: float
+    post_quant_accuracy: float
+    recovered_accuracy: float
+    recovery: RecoveryReport
+    competition: CompetitionResult
+    compression: float
+
+
+@dataclass
+class CCQResult:
+    """Final state and full trace of a CCQ run."""
+
+    records: List[StepRecord]
+    final_eval: EvalResult
+    initial_eval: EvalResult
+    bit_config: Dict[str, Tuple[Optional[int], Optional[int]]]
+    compression: float
+    probe_forward_passes: int
+
+    @property
+    def accuracy_trace(self) -> List[Tuple[int, float, str]]:
+        """Flattened ``(epoch, accuracy, event)`` series for Fig. 2.
+
+        Each step contributes its post-quantization valley followed by
+        the per-epoch recovery accuracies.
+        """
+        trace: List[Tuple[int, float, str]] = []
+        epoch = 0
+        trace.append((epoch, self.initial_eval.accuracy, "initial"))
+        for rec in self.records:
+            epoch += 1
+            trace.append((epoch, rec.post_quant_accuracy,
+                          f"quantize:{rec.layer_name}->{rec.to_bits}b"))
+            for acc in rec.recovery.accuracy_history[1:]:
+                epoch += 1
+                trace.append((epoch, acc, "recover"))
+        return trace
+
+
+class CCQQuantizer:
+    """Run the competitive-collaborative framework on one model."""
+
+    def __init__(
+        self,
+        model: Module,
+        train_loader: DataLoader,
+        val_loader: DataLoader,
+        config: Optional[CCQConfig] = None,
+        policy: "QuantPolicy | str | None" = None,
+        target_config: Optional[Dict[str, BitTarget]] = None,
+        groups: Optional[Dict[str, Sequence[str]]] = None,
+    ) -> None:
+        self.config = config or CCQConfig()
+        if policy is not None:
+            quantize_model(model, policy)
+        self.model = model
+        self.train_loader = train_loader
+        self.val_loader = val_loader
+        self.layers = quantized_layers(model)
+        if not self.layers:
+            raise ValueError(
+                "model has no quantized layers; pass a policy or convert "
+                "it with quantize_model() first"
+            )
+        self.target_config = dict(target_config) if target_config else None
+        if self.target_config is not None:
+            names = {name for name, _ in self.layers}
+            unknown = set(self.target_config) - names
+            if unknown:
+                raise KeyError(f"target_config names unknown layers: {unknown}")
+        # Experts: the units that compete.  One per layer by default; a
+        # ``groups`` mapping {expert_name: [layer names]} coarsens the
+        # granularity to blocks (paper: "different parts of the model,
+        # e.g. layers") — grouped layers always share one precision.
+        self.experts = self._build_experts(groups)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.competition = HedgeCompetition(
+            n_layers=len(self.experts),
+            gamma=self.config.gamma,
+            probes_per_step=self.config.probes_per_step,
+            lambda_schedule=self.config.lambda_schedule,
+            rng=self.rng,
+        )
+        self.optimizer = make_sgd(
+            model,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self._base_lr = self.config.lr
+        self.probe_forward_passes = 0
+        if self.config.size_metric not in ("memory", "macs"):
+            raise ValueError(
+                f"size_metric must be 'memory' or 'macs', "
+                f"got {self.config.size_metric!r}"
+            )
+        self._mac_counts: Optional[Dict[str, int]] = None
+        if self.config.size_metric == "macs":
+            if self.config.input_shape is None:
+                raise ValueError(
+                    "size_metric='macs' requires CCQConfig.input_shape"
+                )
+            from ..hardware.mac import trace_layer_macs
+
+            self._mac_counts = {
+                entry.name: entry.macs
+                for entry in trace_layer_macs(
+                    self.model, self.config.input_shape
+                )
+            }
+
+    # -- expert bookkeeping -----------------------------------------------------
+
+    def _build_experts(
+        self, groups: Optional[Dict[str, Sequence[str]]]
+    ) -> List[Tuple[str, List[int]]]:
+        """Resolve the competing units: singleton layers or named groups."""
+        index_of = {name: i for i, (name, _) in enumerate(self.layers)}
+        if not groups:
+            return [(name, [i]) for i, (name, _) in enumerate(self.layers)]
+        experts: List[Tuple[str, List[int]]] = []
+        claimed: Dict[str, str] = {}
+        for expert_name, members in groups.items():
+            indices = []
+            for member in members:
+                if member not in index_of:
+                    raise KeyError(
+                        f"group {expert_name!r} names unknown layer "
+                        f"{member!r}"
+                    )
+                if member in claimed:
+                    raise ValueError(
+                        f"layer {member!r} appears in groups "
+                        f"{claimed[member]!r} and {expert_name!r}"
+                    )
+                claimed[member] = expert_name
+                indices.append(index_of[member])
+            if not indices:
+                raise ValueError(f"group {expert_name!r} is empty")
+            targets = {self._layer_target(i) for i in indices}
+            if len(targets) > 1:
+                raise ValueError(
+                    f"group {expert_name!r} mixes target precisions "
+                    f"{sorted(targets, key=str)}"
+                )
+            experts.append((expert_name, indices))
+        # Ungrouped layers compete individually.
+        for i, (name, _) in enumerate(self.layers):
+            if name not in claimed:
+                experts.append((name, [i]))
+        return experts
+
+    def _layer_target(self, layer_index: int) -> BitTarget:
+        name, _ = self.layers[layer_index]
+        if self.target_config is None:
+            return self.config.ladder.floor
+        return self.target_config.get(name, self.config.ladder.floor)
+
+    def _target_bits(self, index: int) -> BitTarget:
+        """Final precision for expert ``index`` (ladder floor by default)."""
+        _, members = self.experts[index]
+        return self._layer_target(members[0])
+
+    def _participates(self, index: int) -> bool:
+        """Whether the expert is quantized at all (fp-pinned ones are not)."""
+        return self._target_bits(index) is not None
+
+    def _current_bits(self, index: int) -> Optional[int]:
+        _, members = self.experts[index]
+        return self.layers[members[0]][1].w_bits
+
+    def _is_awake(self, index: int) -> bool:
+        """Awake = can still be quantized one more level toward its target."""
+        target = self._target_bits(index)
+        if target is None:
+            return False
+        current = self._current_bits(index)
+        if current is None:
+            return False  # not yet initialized
+        return current > target
+
+    def _awake_mask(self) -> List[bool]:
+        return [self._is_awake(i) for i in range(len(self.experts))]
+
+    def _layer_sizes(self) -> List[float]:
+        """Per-expert ``|Q_m|`` for the Eq. 7 mixing.
+
+        ``memory``: current storage bits (the paper's definition) —
+        quantize big layers sooner to shrink the model fastest.
+        ``macs``: compute cost weighted by current precision — quantize
+        the layers that dominate MAC energy sooner.
+        """
+        sizes = []
+        for _, members in self.experts:
+            total = 0.0
+            for m in members:
+                name, layer = self.layers[m]
+                bits = layer.w_bits if layer.w_bits is not None else 32
+                if self._mac_counts is not None:
+                    total += float(self._mac_counts[name] * bits)
+                else:
+                    total += float(layer.weight.size * bits)
+            sizes.append(total)
+        return sizes
+
+    def _set_bits(self, index: int, bits: int) -> None:
+        _, members = self.experts[index]
+        for m in members:
+            layer = self.layers[m][1]
+            layer.w_bits = bits
+            if self.config.quantize_activations:
+                layer.a_bits = bits
+
+    def _next_bits(self, index: int) -> int:
+        current = self._current_bits(index)
+        next_level = self.config.ladder.next_level(current)
+        if next_level is None:
+            raise RuntimeError("asked for the next level of a floor expert")
+        return next_level
+
+    # -- probes ----------------------------------------------------------------
+
+    def _probe_loss(self, index: int) -> float:
+        """Validation loss with only expert ``index`` at its next level.
+
+        This is Eq. (4)/(5): a cheap feed-forward on a validation subset;
+        the expert's precision is restored immediately afterwards.
+        """
+        _, members = self.experts[index]
+        saved = [
+            (self.layers[m][1].w_bits, self.layers[m][1].a_bits)
+            for m in members
+        ]
+        self._set_bits(index, self._next_bits(index))
+        try:
+            result = evaluate(
+                self.model, self.val_loader,
+                max_batches=self.config.probe_batches,
+            )
+        finally:
+            for m, (w_bits, a_bits) in zip(members, saved):
+                self.layers[m][1].w_bits = w_bits
+                self.layers[m][1].a_bits = a_bits
+        self.probe_forward_passes += 1
+        return result.loss
+
+    # -- the main loop ------------------------------------------------------------
+
+    def initialize(self) -> EvalResult:
+        """Quantize every participating layer to ``N^(0)`` and recover.
+
+        With ``initial_recovery_adaptive`` the post-quantization model is
+        fine-tuned toward the *float* accuracy using the same recovery
+        configuration as the per-step collaboration; otherwise a fixed
+        ``initial_recovery_epochs`` epochs are run.
+        """
+        float_eval = evaluate(self.model, self.val_loader)
+        start = self.config.ladder.start
+        for i in range(len(self.experts)):
+            if self._participates(i):
+                self._set_bits(i, start)
+        if self.config.initial_recovery_adaptive:
+            self.optimizer.lr = self._base_lr
+            recover(
+                self.model,
+                self.train_loader,
+                self.val_loader,
+                self.optimizer,
+                self.config.recovery,
+                reference_accuracy=float_eval.accuracy,
+            )
+        else:
+            for _ in range(self.config.initial_recovery_epochs):
+                train_epoch(
+                    self.model, self.train_loader, self.optimizer,
+                    max_batches=self.config.recovery.max_batches_per_epoch,
+                )
+        return evaluate(self.model, self.val_loader)
+
+    def run(self) -> CCQResult:
+        """Execute Algorithm 1 end to end and return the full trace."""
+        initial = self.initialize()
+        records: List[StepRecord] = []
+        best_accuracy = initial.accuracy
+        step = 0
+        while True:
+            awake = self._awake_mask()
+            if not any(awake):
+                break
+            if (
+                self.config.max_steps is not None
+                and step >= self.config.max_steps
+            ):
+                break
+            if self.config.target_compression is not None:
+                current = model_size_report(self.model).compression
+                if current >= self.config.target_compression:
+                    break
+
+            pre = evaluate(self.model, self.val_loader)
+            result = self.competition.run_step(
+                evaluate_candidate=self._probe_loss,
+                awake=awake,
+                layer_sizes=self._layer_sizes(),
+                step=step,
+            )
+            winner = result.winner
+            name, _ = self.experts[winner]
+            from_bits = self._current_bits(winner)
+            to_bits = self._next_bits(winner)
+            self._set_bits(winner, to_bits)
+
+            post = evaluate(self.model, self.val_loader)
+            self.optimizer.lr = self._base_lr
+            reference = max(best_accuracy, pre.accuracy)
+            report = recover(
+                self.model,
+                self.train_loader,
+                self.val_loader,
+                self.optimizer,
+                self.config.recovery,
+                reference_accuracy=reference,
+            )
+            best_accuracy = max(best_accuracy, report.end_accuracy)
+            records.append(
+                StepRecord(
+                    step=step,
+                    layer_index=winner,
+                    layer_name=name,
+                    from_bits=from_bits,
+                    to_bits=to_bits,
+                    lambda_used=result.lambda_used,
+                    pre_accuracy=pre.accuracy,
+                    post_quant_accuracy=post.accuracy,
+                    recovered_accuracy=report.end_accuracy,
+                    recovery=report,
+                    competition=result,
+                    compression=model_size_report(self.model).compression,
+                )
+            )
+            step += 1
+
+        final = evaluate(self.model, self.val_loader)
+        return CCQResult(
+            records=records,
+            final_eval=final,
+            initial_eval=initial,
+            bit_config=get_bit_config(self.model),
+            compression=model_size_report(self.model).compression,
+            probe_forward_passes=self.probe_forward_passes,
+        )

@@ -1,0 +1,127 @@
+"""The collaboration stage: fine-tuning to recover post-quantization loss.
+
+After a competition quantizes one layer, all layers "collaborate" — i.e.
+train jointly under quantization-aware SGD — until the accuracy drop is
+recovered (Section III-B(b) and IV-f).  Two recovery modes are provided:
+
+* **manual** — a predetermined epoch budget ``S_t`` per quantization step
+  (optionally growing with the step index, the paper's first attempt);
+* **adaptive** — keep fine-tuning until validation accuracy re-attains a
+  threshold (an absolute target or "within ``slack`` of the pre-step
+  accuracy"), bounded by ``max_epochs``.  This is the mode the paper
+  recommends, combined with the hybrid plateau-cosine learning rate
+  (Fig. 4) to escape recovery plateaus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional
+
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..nn.optim import Optimizer
+from ..nn.schedule import HybridPlateauCosine, LRScheduler
+from .training import EvalResult, evaluate, train_epoch
+
+__all__ = ["RecoveryConfig", "RecoveryReport", "recover"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """How to run the collaboration stage after each quantization step."""
+
+    mode: Literal["manual", "adaptive"] = "adaptive"
+    epochs: int = 2                    # manual: S_t; adaptive: ignored
+    max_epochs: int = 8                # adaptive: hard cap per step
+    threshold: Optional[float] = None  # adaptive: absolute accuracy target
+    slack: float = 0.005               # adaptive: allowed drop vs reference
+    use_hybrid_lr: bool = True         # plateau-bump cosine rule (Fig. 4)
+    hybrid_patience: int = 2
+    hybrid_bump: float = 4.0
+    hybrid_cycle: int = 3
+    max_batches_per_epoch: Optional[int] = None
+
+    def target_accuracy(self, reference: float) -> float:
+        """The accuracy the adaptive mode must re-attain."""
+        if self.threshold is not None:
+            return self.threshold
+        return reference - self.slack
+
+
+@dataclass
+class RecoveryReport:
+    """What happened during one collaboration stage."""
+
+    epochs_used: int
+    start_accuracy: float
+    end_accuracy: float
+    target_accuracy: Optional[float]
+    recovered: bool
+    accuracy_history: List[float] = field(default_factory=list)
+    train_loss_history: List[float] = field(default_factory=list)
+    lr_history: List[float] = field(default_factory=list)
+
+
+def recover(
+    model: Module,
+    train_loader: DataLoader,
+    val_loader: DataLoader,
+    optimizer: Optimizer,
+    config: RecoveryConfig,
+    reference_accuracy: float,
+    scheduler: Optional[LRScheduler] = None,
+) -> RecoveryReport:
+    """Run the collaboration stage and report the recovery trajectory.
+
+    ``reference_accuracy`` is the validation accuracy before the layer was
+    quantized; the adaptive mode fine-tunes until the model is back within
+    ``config.slack`` of it (or hits ``config.max_epochs``).
+    """
+    if scheduler is None and config.use_hybrid_lr:
+        scheduler = HybridPlateauCosine(
+            optimizer,
+            patience=config.hybrid_patience,
+            bump_factor=config.hybrid_bump,
+            cycle_length=config.hybrid_cycle,
+        )
+
+    start = evaluate(model, val_loader)
+    history: List[float] = [start.accuracy]
+    train_losses: List[float] = []
+    lrs: List[float] = []
+
+    if config.mode == "manual":
+        budget = config.epochs
+        target: Optional[float] = None
+    else:
+        budget = config.max_epochs
+        target = config.target_accuracy(reference_accuracy)
+
+    epochs_used = 0
+    current = start
+    for _ in range(budget):
+        if target is not None and current.accuracy >= target:
+            break
+        train_loss = train_epoch(
+            model, train_loader, optimizer,
+            max_batches=config.max_batches_per_epoch,
+        )
+        current = evaluate(model, val_loader)
+        epochs_used += 1
+        history.append(current.accuracy)
+        train_losses.append(train_loss)
+        if scheduler is not None:
+            lrs.append(scheduler.step(metric=current.accuracy))
+
+    recovered = target is None or current.accuracy >= target
+    return RecoveryReport(
+        epochs_used=epochs_used,
+        start_accuracy=start.accuracy,
+        end_accuracy=current.accuracy,
+        target_accuracy=target,
+        recovered=recovered,
+        accuracy_history=history,
+        train_loss_history=train_losses,
+        lr_history=lrs,
+    )

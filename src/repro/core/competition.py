@@ -1,0 +1,215 @@
+"""The competition stage: an exponential-weights game between layers.
+
+Implements lines 6–11 of the paper's Algorithm 1.  Each layer is an
+*expert*; at probe round ``u`` a layer ``m_u`` is sampled from the current
+probability distribution ``p``, the network is evaluated on the validation
+set with only that layer dropped to its next bit level, and the layer's
+weight is updated multiplicatively:
+
+    pi_{m_u} <- pi_{m_u} * exp(-gamma * xi_{m_u})
+
+so layers whose quantization hurts validation loss the least accumulate
+the most weight.  Layers already at the ladder floor (or at their forced
+target) are *sleeping experts*: they are excluded from sampling and their
+weight is frozen until — in the general framework — they could re-awaken.
+
+The memory-awareness extension (Eq. 7) mixes the learned distribution
+with a layer-size distribution before the final winner draw:
+
+    p_new = (1 - lambda) * p + lambda * |Q_m| / sum_i |Q_i|
+
+and ``lambda`` decays linearly over quantization steps, shifting the
+framework from compression-driven early on to accuracy-driven later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LambdaSchedule", "HedgeCompetition", "CompetitionResult"]
+
+
+@dataclass(frozen=True)
+class LambdaSchedule:
+    """Linearly decaying memory-awareness coefficient.
+
+    ``value(t)`` interpolates from ``start`` at step 0 to ``end`` at step
+    ``decay_steps`` (clamped thereafter).  The paper uses a linear decay
+    because early steps are easy to recover from (be memory-greedy) while
+    late steps are fragile (be accuracy-driven).
+    """
+
+    start: float = 0.8
+    end: float = 0.2
+    decay_steps: int = 20
+
+    def __post_init__(self) -> None:
+        for name, v in (("start", self.start), ("end", self.end)):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"lambda {name} must be in [0, 1], got {v}")
+
+    def value(self, step: int) -> float:
+        if self.decay_steps <= 0:
+            return self.end
+        frac = min(max(step, 0) / self.decay_steps, 1.0)
+        return self.start + (self.end - self.start) * frac
+
+    @property
+    def average(self) -> float:
+        """Mean lambda over the decay window (the paper's Fig. 1 x-axis)."""
+        return (self.start + self.end) / 2.0
+
+    @classmethod
+    def constant(cls, value: float) -> "LambdaSchedule":
+        """A non-decaying schedule (for the Fig. 1 ablation)."""
+        return cls(start=value, end=value, decay_steps=1)
+
+
+@dataclass
+class CompetitionResult:
+    """Outcome of one competition stage (one quantization step)."""
+
+    winner: int
+    probabilities: np.ndarray        # final mixed distribution used for draw
+    learned_probabilities: np.ndarray  # Hedge distribution before mixing
+    probe_losses: Dict[int, float]   # last observed loss per probed layer
+    probes: List[int] = field(default_factory=list)
+    lambda_used: float = 0.0
+
+
+class HedgeCompetition:
+    """Exponential-weights learner over the layers of a network.
+
+    Parameters
+    ----------
+    n_layers:
+        Number of experts ``M``.
+    gamma:
+        Hedge learning rate (the temperature of ``exp(-gamma * loss)``).
+    probes_per_step:
+        ``U``, the number of probe rounds per quantization step.
+    lambda_schedule:
+        Memory-awareness mixing (Eq. 7); ``None`` disables mixing.
+    rng:
+        Source of randomness for probe and winner draws.
+    loss_scale:
+        Optional normalizer applied to probe losses before the
+        exponential-weights update; ``"auto"`` rescales by the running
+        mean probe loss, which keeps ``gamma`` meaningful across tasks
+        whose loss magnitudes differ wildly.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        gamma: float = 1.0,
+        probes_per_step: int = 8,
+        lambda_schedule: Optional[LambdaSchedule] = None,
+        rng: Optional[np.random.Generator] = None,
+        loss_scale: "float | str" = "auto",
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError("need at least one layer")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if probes_per_step < 1:
+            raise ValueError("need at least one probe per step")
+        self.n_layers = n_layers
+        self.gamma = gamma
+        self.probes_per_step = probes_per_step
+        self.lambda_schedule = lambda_schedule
+        self.rng = rng or np.random.default_rng(0)
+        self.loss_scale = loss_scale
+        # pi starts uniform at 1 (Algorithm 1 line 1).
+        self.weights = np.ones(n_layers, dtype=np.float64)
+        self._loss_history: List[float] = []
+
+    # -- distributions ------------------------------------------------------
+
+    def probabilities(self, awake: Sequence[bool]) -> np.ndarray:
+        """Hedge distribution over awake experts (sleepers get 0)."""
+        mask = np.asarray(awake, dtype=bool)
+        if mask.shape != (self.n_layers,):
+            raise ValueError(
+                f"awake mask must have shape ({self.n_layers},), "
+                f"got {mask.shape}"
+            )
+        if not mask.any():
+            raise RuntimeError("all experts are asleep; nothing to quantize")
+        p = np.where(mask, self.weights, 0.0)
+        return p / p.sum()
+
+    def mixed_probabilities(
+        self,
+        awake: Sequence[bool],
+        layer_sizes: Optional[Sequence[float]],
+        step: int,
+    ) -> np.ndarray:
+        """Apply the Eq. 7 memory mixing to the learned distribution."""
+        p = self.probabilities(awake)
+        if self.lambda_schedule is None or layer_sizes is None:
+            return p
+        lam = self.lambda_schedule.value(step)
+        sizes = np.asarray(layer_sizes, dtype=np.float64)
+        sizes = np.where(np.asarray(awake, dtype=bool), sizes, 0.0)
+        total = sizes.sum()
+        if total <= 0:
+            return p
+        mixed = (1.0 - lam) * p + lam * sizes / total
+        return mixed / mixed.sum()
+
+    # -- the game ------------------------------------------------------------
+
+    def _scaled(self, loss: float) -> float:
+        self._loss_history.append(loss)
+        if self.loss_scale == "auto":
+            return loss / (np.mean(self._loss_history) + 1e-12)
+        return loss / float(self.loss_scale)
+
+    def observe(self, layer: int, loss: float) -> None:
+        """Multiplicative weight update for one probe observation."""
+        self.weights[layer] *= np.exp(-self.gamma * self._scaled(loss))
+        # Renormalize to dodge underflow; the distribution is unchanged.
+        self.weights /= self.weights.max()
+
+    def run_step(
+        self,
+        evaluate_candidate: Callable[[int], float],
+        awake: Sequence[bool],
+        layer_sizes: Optional[Sequence[float]] = None,
+        step: int = 0,
+    ) -> CompetitionResult:
+        """Run one full competition stage and pick a winner.
+
+        ``evaluate_candidate(m)`` must return the validation loss of the
+        network with layer ``m`` (and only layer ``m``) quantized to its
+        next bit level — Eq. (4)/(5) of the paper.
+        """
+        probes: List[int] = []
+        probe_losses: Dict[int, float] = {}
+        for _ in range(self.probes_per_step):
+            p = self.probabilities(awake)
+            m_u = int(self.rng.choice(self.n_layers, p=p))
+            loss = float(evaluate_candidate(m_u))
+            self.observe(m_u, loss)
+            probes.append(m_u)
+            probe_losses[m_u] = loss
+        learned = self.probabilities(awake)
+        mixed = self.mixed_probabilities(awake, layer_sizes, step)
+        winner = int(self.rng.choice(self.n_layers, p=mixed))
+        lam = (
+            self.lambda_schedule.value(step)
+            if self.lambda_schedule is not None
+            else 0.0
+        )
+        return CompetitionResult(
+            winner=winner,
+            probabilities=mixed,
+            learned_probabilities=learned,
+            probe_losses=probe_losses,
+            probes=probes,
+            lambda_used=lam,
+        )

@@ -1,0 +1,103 @@
+"""Model-size accounting and compression ratios.
+
+The paper reports "model compression" as the ratio between the
+full-precision (32-bit) storage of the network weights and the storage of
+the mixed-precision configuration; this module computes both, per layer
+and for the whole model, including the unquantized remainder (BatchNorm
+affine parameters and biases) which stays at 32 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..nn.modules import Module
+from ..quantization.qmodules import QuantModule, quantized_layers
+
+__all__ = ["LayerSize", "ModelSizeReport", "model_size_report", "compression_ratio"]
+
+_FP_BITS = 32
+
+
+@dataclass(frozen=True)
+class LayerSize:
+    """Per-layer storage summary."""
+
+    name: str
+    n_params: int
+    w_bits: int
+    size_bits: float
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_bits / 8.0
+
+
+@dataclass(frozen=True)
+class ModelSizeReport:
+    """Whole-model storage breakdown at the current bit configuration."""
+
+    layers: Tuple[LayerSize, ...]
+    other_params: int            # BN affine, biases, anything unquantized
+    include_other: bool
+
+    @property
+    def quantized_bits(self) -> float:
+        """Total storage of the quantized weights (bits)."""
+        return sum(layer.size_bits for layer in self.layers)
+
+    @property
+    def total_bits(self) -> float:
+        other = self.other_params * _FP_BITS if self.include_other else 0
+        return self.quantized_bits + other
+
+    @property
+    def baseline_bits(self) -> float:
+        """Storage with every parameter at full precision."""
+        n_quant = sum(layer.n_params for layer in self.layers)
+        other = self.other_params if self.include_other else 0
+        return (n_quant + other) * _FP_BITS
+
+    @property
+    def compression(self) -> float:
+        """``baseline / current`` storage ratio (>= 1 after quantization)."""
+        return self.baseline_bits / self.total_bits
+
+    def by_layer(self) -> Dict[str, LayerSize]:
+        return {layer.name: layer for layer in self.layers}
+
+
+def model_size_report(
+    model: Module, include_other: bool = False
+) -> ModelSizeReport:
+    """Compute the storage breakdown of a quantized model.
+
+    ``include_other=True`` adds the unquantized parameters (BN affine
+    terms, biases) at 32 bits to both sides of the ratio; the paper's
+    headline ratios count the conv/FC weights, which is the default.
+    """
+    layers: List[LayerSize] = []
+    quantized_params = set()
+    for name, layer in quantized_layers(model):
+        bits = layer.w_bits if layer.w_bits is not None else _FP_BITS
+        layers.append(
+            LayerSize(
+                name=name,
+                n_params=layer.weight.size,
+                w_bits=bits,
+                size_bits=float(layer.weight.size * bits),
+            )
+        )
+        quantized_params.add(id(layer.weight))
+    other = sum(
+        p.size for p in model.parameters() if id(p) not in quantized_params
+    )
+    return ModelSizeReport(
+        layers=tuple(layers), other_params=other, include_other=include_other
+    )
+
+
+def compression_ratio(model: Module, include_other: bool = False) -> float:
+    """Convenience wrapper returning just the compression ratio."""
+    return model_size_report(model, include_other=include_other).compression

@@ -1,0 +1,47 @@
+"""Expert-grouping helpers for block-granularity CCQ.
+
+:class:`~repro.core.ccq.CCQQuantizer` accepts a ``groups`` mapping that
+coarsens the competition from individual layers to blocks.  This module
+derives sensible groupings automatically from a model's module-name
+structure — e.g. one expert per residual block of a ResNet — so the
+block-level variant (the granularity HAWQ operates at) is one call away.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from ..nn.modules import Module
+from ..quantization.qmodules import quantized_layers
+
+__all__ = ["group_by_prefix", "residual_block_groups"]
+
+
+def group_by_prefix(model: Module, depth: int) -> Dict[str, List[str]]:
+    """Group quantized layers by the first ``depth`` name components.
+
+    ``depth=1`` on a ResNet groups per stage (``layer1``, ``layer2``, ...);
+    ``depth=2`` groups per residual block (``layer1.0``, ``layer1.1``, ...).
+    Layers with fewer name components than ``depth`` (the stem conv, the
+    final fc) become singleton groups.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    groups: "OrderedDict[str, List[str]]" = OrderedDict()
+    for name, _ in quantized_layers(model):
+        parts = name.split(".")
+        key = ".".join(parts[:depth]) if len(parts) > depth else name
+        groups.setdefault(key, []).append(name)
+    return dict(groups)
+
+
+def residual_block_groups(model: Module) -> Dict[str, List[str]]:
+    """One expert per residual block, singletons for stem/head layers.
+
+    This is the granularity the paper's HAWQ comparison point assigns
+    precision at ("layers/blocks"), and it cuts the competition's expert
+    count roughly 3x on ResNets — fewer probes per step for very deep
+    networks.
+    """
+    return group_by_prefix(model, depth=2)

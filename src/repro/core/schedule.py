@@ -1,0 +1,88 @@
+"""Bit-precision ladders for gradual quantization.
+
+The framework quantizes from a high precision ``N^(0)`` down to a low one
+``N^(K-1)`` through ``K`` discrete levels (Section III-B), one layer-step
+at a time, instead of jumping straight to the target precision.  A
+:class:`BitLadder` encodes that ordered level set and answers the
+questions the competition needs: what is a layer's next level, and is a
+layer already at the bottom (a *sleeping expert*)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["BitLadder", "DEFAULT_LADDER"]
+
+
+@dataclass(frozen=True)
+class BitLadder:
+    """A strictly decreasing sequence of bit widths, e.g. ``(8, 6, 4, 3, 2)``."""
+
+    levels: Tuple[int, ...] = (8, 6, 4, 3, 2)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError("a ladder needs at least two levels")
+        if any(b <= 0 for b in self.levels):
+            raise ValueError(f"bit levels must be positive, got {self.levels}")
+        if any(a <= b for a, b in zip(self.levels, self.levels[1:])):
+            raise ValueError(
+                f"levels must be strictly decreasing, got {self.levels}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    @property
+    def start(self) -> int:
+        """The initial (highest) precision ``N^(0)``."""
+        return self.levels[0]
+
+    @property
+    def floor(self) -> int:
+        """The minimum precision ``N^(K-1)``."""
+        return self.levels[-1]
+
+    def index_of(self, bits: int) -> int:
+        """Position of ``bits`` on the ladder (raises if absent)."""
+        try:
+            return self.levels.index(bits)
+        except ValueError:
+            raise ValueError(
+                f"{bits} bits is not a ladder level {self.levels}"
+            ) from None
+
+    def next_level(self, bits: int) -> Optional[int]:
+        """The next (lower) level after ``bits``, or None at the floor."""
+        i = self.index_of(bits)
+        if i + 1 >= len(self.levels):
+            return None
+        return self.levels[i + 1]
+
+    def is_floor(self, bits: int) -> bool:
+        """Whether ``bits`` is the minimum level (sleeping expert)."""
+        return self.index_of(bits) == len(self.levels) - 1
+
+    def levels_between(self, start: int, target: int) -> Tuple[int, ...]:
+        """The sub-ladder from ``start`` down to ``target`` inclusive."""
+        i, j = self.index_of(start), self.index_of(target)
+        if j < i:
+            raise ValueError(
+                f"target {target} is above start {start} on the ladder"
+            )
+        return self.levels[i : j + 1]
+
+    @classmethod
+    def from_range(cls, start: int, floor: int) -> "BitLadder":
+        """Build a dense integer ladder from ``start`` down to ``floor``."""
+        if floor >= start:
+            raise ValueError("floor must be below start")
+        return cls(tuple(range(start, floor - 1, -1)))
+
+
+DEFAULT_LADDER = BitLadder()

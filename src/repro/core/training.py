@@ -1,0 +1,142 @@
+"""Shared training / evaluation loops.
+
+These are the quantization-aware training primitives used by the CCQ
+collaboration stage, the one-shot baselines and the uniform-precision
+baselines: a plain SGD epoch over a loader (including quantizer-internal
+parameters such as PACT's alpha and the PACT regularization term) and a
+no-grad evaluation pass returning loss and top-1 accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import no_grad
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..nn.optim import SGD, Optimizer
+from ..nn.tensor import Tensor
+from ..quantization.qmodules import (
+    collect_quantizer_parameters,
+    collect_regularization,
+)
+
+__all__ = [
+    "EvalResult",
+    "evaluate",
+    "train_epoch",
+    "make_sgd",
+    "accuracy_from_logits",
+]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Loss and top-1 accuracy over an evaluation set."""
+
+    loss: float
+    accuracy: float
+    n_samples: int
+
+    def __repr__(self) -> str:
+        return (
+            f"EvalResult(loss={self.loss:.4f}, "
+            f"accuracy={self.accuracy:.4f}, n={self.n_samples})"
+        )
+
+
+def accuracy_from_logits(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the target."""
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def evaluate(
+    model: Module,
+    loader: DataLoader,
+    max_batches: Optional[int] = None,
+) -> EvalResult:
+    """Feed-forward evaluation: mean loss and top-1 accuracy.
+
+    This is the cheap operation the CCQ competition leans on — a pure
+    forward pass (``no_grad``) over (a subset of) the validation set.
+    """
+    was_training = model.training
+    model.eval()
+    total_loss = 0.0
+    total_correct = 0
+    total = 0
+    with no_grad():
+        for batch_index, (images, targets) in enumerate(loader):
+            if max_batches is not None and batch_index >= max_batches:
+                break
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, targets)
+            n = len(targets)
+            total_loss += loss.item() * n
+            total_correct += int(
+                (logits.data.argmax(axis=1) == targets).sum()
+            )
+            total += n
+    if was_training:
+        model.train()
+    if total == 0:
+        raise RuntimeError("evaluation loader produced no batches")
+    return EvalResult(total_loss / total, total_correct / total, total)
+
+
+def train_epoch(
+    model: Module,
+    loader: DataLoader,
+    optimizer: Optimizer,
+    max_batches: Optional[int] = None,
+) -> float:
+    """One quantization-aware SGD epoch; returns the mean training loss.
+
+    The quantizer regularization (PACT's alpha penalty) is added to the
+    task loss when present, so quantizer-internal parameters train jointly
+    with the weights — the "collaboration" of all layers.
+    """
+    model.train()
+    losses: List[float] = []
+    for batch_index, (images, targets) in enumerate(loader):
+        if max_batches is not None and batch_index >= max_batches:
+            break
+        optimizer.zero_grad()
+        logits = model(Tensor(images))
+        loss = F.cross_entropy(logits, targets)
+        reg = collect_regularization(model)
+        total = loss if reg is None else loss + reg
+        total.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    if not losses:
+        raise RuntimeError("training loader produced no batches")
+    return float(np.mean(losses))
+
+
+def make_sgd(
+    model: Module,
+    lr: float,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    include_quantizer_params: bool = True,
+) -> SGD:
+    """SGD over model parameters plus (optionally) quantizer parameters.
+
+    Quantizer parameters registered on the module tree (the usual case
+    after :func:`repro.quantization.quantize_model`) are already covered
+    by ``model.parameters()``; the explicit collection handles hand-built
+    layers whose quantizers were attached without registration.
+    """
+    params = list(model.parameters())
+    if include_quantizer_params:
+        seen = {id(p) for p in params}
+        for extra in collect_quantizer_parameters(model):
+            if id(extra) not in seen:
+                params.append(extra)
+                seen.add(id(extra))
+    return SGD(params, lr=lr, momentum=momentum, weight_decay=weight_decay)

@@ -1,0 +1,19 @@
+"""``repro.datasets`` — deterministic synthetic stand-ins for CIFAR10/ImageNet."""
+
+from .synthetic import (
+    SyntheticImageConfig,
+    SyntheticSplits,
+    generate_class_templates,
+    generate_dataset,
+    make_synthetic_cifar10,
+    make_synthetic_imagenet,
+)
+
+__all__ = [
+    "SyntheticImageConfig",
+    "SyntheticSplits",
+    "generate_class_templates",
+    "generate_dataset",
+    "make_synthetic_cifar10",
+    "make_synthetic_imagenet",
+]

@@ -1,0 +1,171 @@
+"""Experiment scaffolding shared by the benchmark harness and examples.
+
+The paper's evaluation uses three network/dataset combinations:
+
+* ResNet-20 on CIFAR10,
+* ResNet-18 on ImageNet,
+* ResNet-50 on ImageNet.
+
+This module maps those onto the synthetic substitutes (DESIGN.md) at three
+sizes: ``smoke`` (CI-speed), ``bench`` (minutes per experiment — the
+default for ``pytest benchmarks/``), and ``paper`` (the fullest CPU-feasible
+configuration).  Every table/figure benchmark builds its workload through
+:func:`build_task`, so the scaling knobs live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from . import models
+from .baselines import PretrainConfig, pretrain
+from .datasets import SyntheticSplits, make_synthetic_cifar10, make_synthetic_imagenet
+from .nn.data import DataLoader
+from .nn.modules import Module
+
+__all__ = ["Scale", "SCALES", "Task", "build_task", "TASK_NAMES"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sizing knobs for one experiment scale."""
+
+    name: str
+    n_train: int
+    n_val: int
+    n_test: int
+    cifar_image: int
+    imagenet_image: int
+    imagenet_classes: int
+    width_r20: float
+    width_r18: float
+    width_r50: float
+    pretrain_epochs: int
+    finetune_epochs: int
+    batch_size: int = 64
+
+
+SCALES: Dict[str, Scale] = {
+    # "micro" exists for CI: it exercises every code path in seconds and
+    # makes no claim of converging to anything meaningful.
+    "micro": Scale(
+        name="micro", n_train=96, n_val=48, n_test=48,
+        cifar_image=8, imagenet_image=8, imagenet_classes=4,
+        width_r20=0.25, width_r18=0.125, width_r50=0.0625,
+        pretrain_epochs=2, finetune_epochs=1,
+    ),
+    "smoke": Scale(
+        name="smoke", n_train=600, n_val=200, n_test=200,
+        cifar_image=16, imagenet_image=16, imagenet_classes=10,
+        width_r20=0.25, width_r18=0.125, width_r50=0.0625,
+        pretrain_epochs=16, finetune_epochs=2,
+    ),
+    "bench": Scale(
+        name="bench", n_train=1200, n_val=300, n_test=300,
+        cifar_image=16, imagenet_image=16, imagenet_classes=20,
+        width_r20=0.5, width_r18=0.25, width_r50=0.125,
+        pretrain_epochs=14, finetune_epochs=2,
+    ),
+    "paper": Scale(
+        name="paper", n_train=4000, n_val=1000, n_test=1000,
+        cifar_image=32, imagenet_image=32, imagenet_classes=100,
+        width_r20=1.0, width_r18=0.5, width_r50=0.25,
+        pretrain_epochs=20, finetune_epochs=4,
+    ),
+}
+
+TASK_NAMES = ("resnet20_cifar10", "resnet18_imagenet", "resnet50_imagenet")
+
+
+@dataclass
+class Task:
+    """A fully assembled experiment workload."""
+
+    name: str
+    scale: Scale
+    splits: SyntheticSplits
+    make_model: Callable[[], Module]
+    input_shape: Tuple[int, int, int]
+    baseline_accuracy: Optional[float] = None
+    _pretrained_state: Optional[dict] = None
+
+    def loaders(self, seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+        """Fresh (train, val) loaders."""
+        train = DataLoader(
+            self.splits.train, batch_size=self.scale.batch_size,
+            shuffle=True, seed=seed,
+        )
+        val = DataLoader(self.splits.val, batch_size=128)
+        return train, val
+
+    def pretrained_model(self) -> Tuple[Module, float]:
+        """A pretrained float model + its baseline accuracy.
+
+        The first call trains and caches the checkpoint; later calls
+        restore it into a fresh network, so every experiment row starts
+        from the identical baseline (the paper's protocol).
+        """
+        if self._pretrained_state is None:
+            model = self.make_model()
+            train, val = self.loaders()
+            result = pretrain(
+                model, train, val,
+                PretrainConfig(
+                    epochs=self.scale.pretrain_epochs,
+                    lr=0.05,
+                    weight_decay=1e-4,
+                    lr_step=max(int(self.scale.pretrain_epochs * 0.75), 1),
+                ),
+            )
+            self._pretrained_state = model.state_dict()
+            self.baseline_accuracy = result.baseline_accuracy
+        model = self.make_model()
+        model.load_state_dict(self._pretrained_state)
+        return model, self.baseline_accuracy
+
+
+def build_task(name: str, scale: "Scale | str" = "bench") -> Task:
+    """Assemble one of the paper's three network/dataset combinations."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    if name == "resnet20_cifar10":
+        splits = make_synthetic_cifar10(
+            n_train=scale.n_train, n_val=scale.n_val, n_test=scale.n_test,
+            image_size=scale.cifar_image, augment=False,
+        )
+        make_model = lambda: models.resnet20(
+            num_classes=10, width_mult=scale.width_r20,
+            rng=np.random.default_rng(0),
+        )
+        shape = (3, scale.cifar_image, scale.cifar_image)
+    elif name == "resnet18_imagenet":
+        splits = make_synthetic_imagenet(
+            n_classes=scale.imagenet_classes,
+            n_train=scale.n_train, n_val=scale.n_val, n_test=scale.n_test,
+            image_size=scale.imagenet_image, augment=False,
+        )
+        make_model = lambda: models.resnet18(
+            num_classes=scale.imagenet_classes, width_mult=scale.width_r18,
+            small_input=True, rng=np.random.default_rng(0),
+        )
+        shape = (3, scale.imagenet_image, scale.imagenet_image)
+    elif name == "resnet50_imagenet":
+        splits = make_synthetic_imagenet(
+            n_classes=scale.imagenet_classes,
+            n_train=scale.n_train, n_val=scale.n_val, n_test=scale.n_test,
+            image_size=scale.imagenet_image, augment=False,
+        )
+        make_model = lambda: models.resnet50(
+            num_classes=scale.imagenet_classes, width_mult=scale.width_r50,
+            small_input=True, rng=np.random.default_rng(0),
+        )
+        shape = (3, scale.imagenet_image, scale.imagenet_image)
+    else:
+        raise KeyError(f"unknown task {name!r}; choose from {TASK_NAMES}")
+    return Task(
+        name=name, scale=scale, splits=splits,
+        make_model=make_model, input_shape=shape,
+    )

@@ -1,0 +1,24 @@
+"""``repro.hardware`` — bit-width-aware MAC energy/power modelling (Fig. 5).
+
+Replaces the paper's DesignWare 32nm RTL synthesis with an analytic MAC
+energy model anchored to published per-op energy measurements; see
+DESIGN.md for the substitution rationale.
+"""
+
+from .designware import NODE_32NM, NODE_32NM_SYNTH, NODE_45NM, TechnologyNode, mac_energy_pj
+from .mac import LayerMACs, trace_layer_macs
+from .power import LayerPower, PowerReport, network_power, power_of_config
+
+__all__ = [
+    "TechnologyNode",
+    "NODE_32NM",
+    "NODE_32NM_SYNTH",
+    "NODE_45NM",
+    "mac_energy_pj",
+    "LayerMACs",
+    "trace_layer_macs",
+    "LayerPower",
+    "PowerReport",
+    "network_power",
+    "power_of_config",
+]

@@ -1,0 +1,131 @@
+"""Network-level power estimation at iso-throughput (Fig. 5).
+
+The paper compares the MAC power of three deployments of each network at
+the *same* inference throughput:
+
+* unquantized (fp32 everywhere),
+* partially quantized (``fp-4b-fp`` / ``fp-2b-fp``: full-precision first
+  and last layers, uniform low precision in between),
+* fully quantized mixed precision (CCQ's output, with moderate first/last
+  bits such as 6/2, 6/6 or 8/3).
+
+At iso-throughput the power of a layer is (MACs per inference) x
+(energy per MAC at its precision) x (inferences per second), so the
+full-precision edges dominate whenever they exist — the paper measures
+4–56x more power in the fp first/last pair than in the entire quantized
+remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..nn.modules import Module
+from .designware import NODE_32NM, TechnologyNode, mac_energy_pj
+from .mac import LayerMACs, trace_layer_macs
+
+__all__ = ["LayerPower", "PowerReport", "network_power", "power_of_config"]
+
+
+@dataclass(frozen=True)
+class LayerPower:
+    """Power draw of one layer at the configured precision."""
+
+    name: str
+    macs: int
+    w_bits: Optional[int]
+    a_bits: Optional[int]
+    power_watts: float
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Whole-network power breakdown at iso-throughput."""
+
+    layers: Tuple[LayerPower, ...]
+    fps: float
+    node: str
+
+    @property
+    def total_watts(self) -> float:
+        return sum(layer.power_watts for layer in self.layers)
+
+    @property
+    def edge_watts(self) -> float:
+        """Power of the first + last layers."""
+        if len(self.layers) < 2:
+            return self.total_watts
+        return self.layers[0].power_watts + self.layers[-1].power_watts
+
+    @property
+    def middle_watts(self) -> float:
+        """Power of everything except the first and last layers."""
+        return self.total_watts - self.edge_watts
+
+    @property
+    def edge_to_middle_ratio(self) -> float:
+        """The paper's 4–56x statistic: fp edges vs quantized middle."""
+        middle = self.middle_watts
+        return self.edge_watts / middle if middle > 0 else float("inf")
+
+    def by_layer(self) -> Dict[str, LayerPower]:
+        return {layer.name: layer for layer in self.layers}
+
+
+def _layer_power(
+    entry: LayerMACs,
+    w_bits: Optional[int],
+    a_bits: Optional[int],
+    fps: float,
+    node: TechnologyNode,
+) -> LayerPower:
+    energy_pj = mac_energy_pj(w_bits, a_bits, node=node)
+    watts = entry.macs * energy_pj * 1e-12 * fps
+    return LayerPower(
+        name=entry.name,
+        macs=entry.macs,
+        w_bits=w_bits,
+        a_bits=a_bits,
+        power_watts=watts,
+    )
+
+
+def network_power(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    fps: float = 30.0,
+    node: TechnologyNode = NODE_32NM,
+) -> PowerReport:
+    """Power of ``model`` at its *current* bit configuration."""
+    entries = trace_layer_macs(model, input_shape)
+    layers = tuple(
+        _layer_power(e, e.w_bits, e.a_bits, fps, node) for e in entries
+    )
+    return PowerReport(layers=layers, fps=fps, node=node.name)
+
+
+def power_of_config(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    bit_config: Sequence[Tuple[Optional[int], Optional[int]]],
+    fps: float = 30.0,
+    node: TechnologyNode = NODE_32NM,
+) -> PowerReport:
+    """Power of ``model`` under a hypothetical per-layer bit assignment.
+
+    ``bit_config`` lists ``(w_bits, a_bits)`` in layer traversal order
+    (``None`` = fp32), letting Fig. 5 evaluate fp-4b-fp / fp-2b-fp /
+    fully-quantized variants without touching the model's actual state.
+    """
+    entries = trace_layer_macs(model, input_shape)
+    if len(bit_config) != len(entries):
+        raise ValueError(
+            f"bit_config has {len(bit_config)} entries for "
+            f"{len(entries)} compute layers"
+        )
+    layers = tuple(
+        _layer_power(e, w, a, fps, node)
+        for e, (w, a) in zip(entries, bit_config)
+    )
+    return PowerReport(layers=layers, fps=fps, node=node.name)

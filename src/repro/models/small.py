@@ -1,0 +1,98 @@
+"""Small reference networks for tests, examples and fast CCQ smoke runs."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["MLP", "SmallConvNet", "LeNet"]
+
+
+class MLP(nn.Module):
+    """Fully-connected classifier over flattened inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        num_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        dims = [in_features, *hidden]
+        layers = []
+        for a, b in zip(dims[:-1], dims[1:]):
+            layers.append(nn.Linear(a, b, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(dims[-1], num_classes, rng=rng))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x.flatten(start_dim=1))
+
+
+class SmallConvNet(nn.Module):
+    """Three-conv classifier: quick to train, still has first/mid/last layers.
+
+    Handy for CCQ smoke tests — it exposes exactly the structural features
+    the paper's algorithm cares about (a first layer, differently-sized
+    middle layers and a last linear layer) at a tiny compute cost.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.conv2 = nn.Conv2d(width, 2 * width, 3, stride=2, padding=1,
+                               bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(2 * width)
+        self.conv3 = nn.Conv2d(2 * width, 4 * width, 3, stride=2, padding=1,
+                               bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(4 * width)
+        self.fc = nn.Linear(4 * width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out)).relu()
+        out = F.global_avg_pool2d(out)
+        return self.fc(out)
+
+
+class LeNet(nn.Module):
+    """LeNet-5-style network for 32x32 inputs."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(in_channels, 6, 5, rng=rng)
+        self.conv2 = nn.Conv2d(6, 16, 5, rng=rng)
+        self.fc1 = nn.Linear(16 * 5 * 5, 120, rng=rng)
+        self.fc2 = nn.Linear(120, 84, rng=rng)
+        self.fc3 = nn.Linear(84, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.max_pool2d(self.conv1(x).relu(), 2)
+        out = F.max_pool2d(self.conv2(out).relu(), 2)
+        out = out.flatten(start_dim=1)
+        out = self.fc1(out).relu()
+        out = self.fc2(out).relu()
+        return self.fc3(out)

@@ -1,0 +1,394 @@
+"""Neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+Convolution is implemented with an im2col lowering (the standard CPU
+strategy); pooling and the fused softmax-cross-entropy loss are dedicated
+:class:`~repro.nn.autograd.Function` subclasses for numerical stability and
+speed.  ``round_ste`` / ``floor_ste`` provide the straight-through
+estimators that every quantization policy in :mod:`repro.quantization`
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .autograd import Context, Function
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "round_ste",
+    "floor_ste",
+    "im2col",
+    "conv_output_size",
+]
+
+_IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: _IntPair) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a 2-tuple."""
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower a padded NCHW batch into a ``(N*OH*OW, C*KH*KW)`` matrix.
+
+    Returns the column matrix together with the output spatial size.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    # windows: (N, C, H-kh+1, W-kw+1, KH, KW) then stride-sliced.
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def _col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_size: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add column gradients back into an input-shaped array."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh, ow = out_size
+    dxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=dcols.dtype)
+    # (N*OH*OW, C*KH*KW) -> (N, OH, OW, C, KH, KW) -> (N, C, KH, KW, OH, OW)
+    d6 = dcols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += d6[:, :, i, j]
+    if ph or pw:
+        return dxp[:, :, ph : ph + h, pw : pw + w]
+    return dxp
+
+
+class _Conv2d(Function):
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        f, c, kh, kw = weight.shape
+        cols, (oh, ow) = im2col(x, (kh, kw), stride, padding)
+        w_flat = weight.reshape(f, -1)
+        out = cols @ w_flat.T
+        if bias is not None:
+            out += bias
+        n = x.shape[0]
+        ctx.save(cols, w_flat, x.shape, weight.shape, stride, padding, (oh, ow))
+        return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        cols, w_flat, x_shape, w_shape, stride, padding, out_size = ctx.saved
+        f = w_shape[0]
+        # (N, F, OH, OW) -> (N*OH*OW, F)
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, f)
+        dx = None
+        dw = None
+        db = None
+        if ctx.needs_input_grad[0]:
+            dcols = g @ w_flat
+            dx = _col2im(
+                dcols, x_shape, w_shape[2:], stride, padding, out_size
+            )
+        if ctx.needs_input_grad[1]:
+            dw = (g.T @ cols).reshape(w_shape)
+        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
+            db = g.sum(axis=0)
+        if ctx.needs_input_grad[2:]:
+            return dx, dw, db
+        return dx, dw
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: _IntPair = 1,
+    padding: _IntPair = 0,
+) -> Tensor:
+    """2-D convolution over an NCHW batch (weight is ``(F, C, KH, KW)``)."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    if bias is None:
+        return _Conv2dNoBias.apply(x, weight, stride=stride, padding=padding)
+    return _Conv2d.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+class _Conv2dNoBias(Function):
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        return _Conv2d.forward(ctx, x, weight, None, stride, padding)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        dx, dw = _Conv2d.backward(ctx, grad)[:2]
+        return dx, dw
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (weight is ``(out, in)``)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+class _MaxPool2d(Function):
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(
+                x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf
+            )
+        n, c, h, w = x.shape
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        flat = windows.reshape(n, c, oh, ow, kh * kw)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        ctx.save(arg, (n, c, h, w), kernel, stride, (ph, pw), (oh, ow))
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        arg, padded_shape, kernel, stride, padding, out_size = ctx.saved
+        n, c, h, w = padded_shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = out_size
+        dxp = np.zeros(padded_shape, dtype=grad.dtype)
+        ki, kj = np.unravel_index(arg, (kh, kw))
+        oi = np.arange(oh)[None, None, :, None] * sh
+        oj = np.arange(ow)[None, None, None, :] * sw
+        rows = (oi + ki).ravel()
+        cols = (oj + kj).ravel()
+        ni = np.repeat(np.arange(n), c * oh * ow)
+        ci = np.tile(np.repeat(np.arange(c), oh * ow), n)
+        np.add.at(dxp, (ni, ci, rows, cols), grad.ravel())
+        if ph or pw:
+            return (dxp[:, :, ph : h - ph, pw : w - pw],)
+        return (dxp,)
+
+
+def max_pool2d(
+    x: Tensor, kernel: _IntPair, stride: Optional[_IntPair] = None,
+    padding: _IntPair = 0,
+) -> Tensor:
+    """2-D max pooling over an NCHW batch."""
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    return _MaxPool2d.apply(x, kernel=kernel, stride=stride, padding=_pair(padding))
+
+
+class _AvgPool2d(Function):
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        out = windows.mean(axis=(-1, -2))
+        ctx.save(x.shape, kernel, stride, out.shape[2:])
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        x_shape, kernel, stride, out_size = ctx.saved
+        kh, kw = kernel
+        sh, sw = stride
+        oh, ow = out_size
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        g = grad / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
+        return (dx,)
+
+
+def avg_pool2d(
+    x: Tensor, kernel: _IntPair, stride: Optional[_IntPair] = None
+) -> Tensor:
+    """2-D average pooling (no padding) over an NCHW batch."""
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    return _AvgPool2d.apply(x, kernel=kernel, stride=stride)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+class _LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, axis: int) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        ctx.save(out, axis)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        out, axis = ctx.saved
+        softmax = np.exp(out)
+        return (grad - softmax * grad.sum(axis=axis, keepdims=True),)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))``."""
+    return _LogSoftmax.apply(x, axis=axis)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+class _CrossEntropy(Function):
+    """Fused log-softmax + NLL with integer class targets (mean reduced)."""
+
+    @staticmethod
+    def forward(ctx: Context, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = targets.astype(np.int64)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_z
+        n = logits.shape[0]
+        losses = -log_probs[np.arange(n), targets]
+        ctx.save(log_probs, targets)
+        return np.asarray(losses.mean())
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        log_probs, targets = ctx.saved
+        n = log_probs.shape[0]
+        dx = np.exp(log_probs)
+        dx[np.arange(n), targets] -= 1.0
+        return (dx * (grad / n),)
+
+
+def cross_entropy(logits: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean cross-entropy between ``(N, K)`` logits and ``(N,)`` int targets."""
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    return _CrossEntropy.apply(logits, targets=targets)
+
+
+def nll_loss(log_probs: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean negative log-likelihood from precomputed log-probabilities."""
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    targets = targets.astype(np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+class _RoundSTE(Function):
+    """Round to nearest integer; identity gradient (straight-through)."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray) -> np.ndarray:
+        return np.round(x)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (grad,)
+
+
+class _FloorSTE(Function):
+    """Floor; identity gradient (straight-through)."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray) -> np.ndarray:
+        return np.floor(x)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (grad,)
+
+
+def round_ste(x: Tensor) -> Tensor:
+    """Straight-through rounding: quantize forward, identity backward."""
+    return _RoundSTE.apply(x)
+
+
+def floor_ste(x: Tensor) -> Tensor:
+    """Straight-through floor."""
+    return _FloorSTE.apply(x)

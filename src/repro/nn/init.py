@@ -1,0 +1,92 @@
+"""Weight initialization schemes (Kaiming / Xavier families).
+
+All initializers accept an explicit ``rng`` so experiments are fully
+reproducible; a process-default generator is used when none is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "default_rng",
+    "set_seed",
+    "compute_fans",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+]
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def default_rng() -> np.random.Generator:
+    """The process-default generator used when an op gets no explicit rng."""
+    return _DEFAULT_RNG
+
+
+def set_seed(seed: int) -> None:
+    """Re-seed the process-default generator (affects future inits only)."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(seed)
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for dense or convolutional weights."""
+    if len(shape) < 2:
+        raise ValueError(f"fan computation needs >= 2 dims, got shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    gain: float = np.sqrt(2.0),
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He-normal init: ``N(0, gain^2 / fan_in)`` (default gain for ReLU)."""
+    rng = rng or _DEFAULT_RNG
+    fan_in, _ = compute_fans(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    gain: float = np.sqrt(2.0),
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He-uniform init on ``[-bound, bound]`` with ``bound = gain*sqrt(3/fan_in)``."""
+    rng = rng or _DEFAULT_RNG
+    fan_in, _ = compute_fans(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...],
+    gain: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Glorot-normal init: ``N(0, gain^2 * 2 / (fan_in + fan_out))``."""
+    rng = rng or _DEFAULT_RNG
+    fan_in, fan_out = compute_fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    gain: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Glorot-uniform init on ``[-bound, bound]``."""
+    rng = rng or _DEFAULT_RNG
+    fan_in, fan_out = compute_fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,349 @@
+"""Composable network modules with parameter management.
+
+The :class:`Module` base class provides PyTorch-style parameter/submodule
+registration, ``named_parameters``/``named_modules`` traversal, train/eval
+mode switching and ``state_dict`` round-tripping.  The CCQ framework relies
+on this traversal to enumerate quantizable layers and snapshot/restore
+their parameters between competition probes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a module."""
+
+    def __init__(self, data: Any) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- registration --------------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        else:
+            # Re-assigning a registered name (e.g. ``self.bias = None``)
+            # must drop the stale registration.
+            self.__dict__.get("_parameters", {}).pop(name, None)
+            self.__dict__.get("_modules", {}).pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal -----------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its descendants."""
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(
+        self, prefix: str = ""
+    ) -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs, depth first."""
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def named_modules(
+        self, prefix: str = ""
+    ) -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs including self."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- mode / grads ----------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot all parameters and buffers as copied ndarrays."""
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[f"buffer.{name}"] = b.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer."):
+                continue
+            if name not in params:
+                raise KeyError(f"unexpected parameter {name!r} in state dict")
+            params[name].copy_(value)
+        buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if not name.startswith("buffer."):
+                continue
+            key = name[len("buffer."):]
+            if key not in buffers:
+                raise KeyError(f"unexpected buffer {key!r} in state dict")
+            np.copyto(buffers[key], value)
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class Conv2d(Module):
+    """2-D convolution layer with Kaiming-normal initialization."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng=rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding})"
+        )
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel axis of NCHW inputs."""
+
+    def __init__(
+        self, num_features: int, eps: float = 1e-5, momentum: float = 0.1
+    ) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            # Update running statistics (EMA, unbiased variance like torch).
+            batch = x.shape[0] * x.shape[2] * x.shape[3]
+            unbiased = var.data.reshape(-1) * batch / max(batch - 1, 1)
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean.data.reshape(-1)
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * unbiased
+            x_hat = centered / (var + self.eps).sqrt()
+        else:
+            shape = (1, self.num_features, 1, 1)
+            mean = Tensor(self.running_mean.reshape(shape))
+            std = Tensor(np.sqrt(self.running_var.reshape(shape) + self.eps))
+            x_hat = (x - mean) / std
+        w = self.weight.reshape(1, self.num_features, 1, 1)
+        b = self.bias.reshape(1, self.num_features, 1, 1)
+        return x_hat * w + b
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class ReLU(Module):
+    """Rectified linear unit module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    """Flatten everything after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class MaxPool2d(Module):
+    """2-D max pooling module."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    """2-D average pooling module."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling producing ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

@@ -1,0 +1,150 @@
+"""Learning-rate schedules, including the paper's hybrid plateau-cosine rule.
+
+Section IV-g of the paper: fine-tuning starts at a constant learning rate;
+when the learning plateaus (the network "fails to recover"), the rate is
+*slightly increased* and then follows a cosine decay back to the previous
+value (an SGDR-style warm restart).  :class:`HybridPlateauCosine` implements
+exactly that behaviour and is exercised by the Fig. 4 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .optim import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "ConstantLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "HybridPlateauCosine",
+]
+
+
+class LRScheduler:
+    """Base class: call :meth:`step` once per epoch to update the LR."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+        self.history: List[float] = []
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self, metric: Optional[float] = None) -> float:
+        """Advance one epoch and apply the new learning rate.
+
+        ``metric`` is the monitored validation quantity (only used by
+        metric-aware schedules such as :class:`HybridPlateauCosine`).
+        """
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        self.history.append(lr)
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keep the learning rate fixed."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        cos = (1.0 + math.cos(math.pi * t / self.t_max)) / 2.0
+        return self.eta_min + (self.base_lr - self.eta_min) * cos
+
+
+class HybridPlateauCosine(LRScheduler):
+    """Constant LR with plateau-triggered bump + cosine decay (Fig. 4).
+
+    The schedule monitors a validation metric (higher is better, e.g.
+    accuracy).  While the metric keeps improving, the LR stays at
+    ``base_lr``.  After ``patience`` epochs without improvement of at least
+    ``min_delta``, the LR jumps to ``bump_factor * base_lr`` and then
+    follows a cosine decay back down to ``base_lr`` over ``cycle_length``
+    epochs, after which plateau monitoring resumes.  The slight increase
+    perturbs the iterate out of the local plateau/saddle, as motivated by
+    SGDR warm restarts.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        patience: int = 3,
+        bump_factor: float = 5.0,
+        cycle_length: int = 5,
+        min_delta: float = 1e-4,
+    ) -> None:
+        super().__init__(optimizer)
+        if bump_factor <= 1.0:
+            raise ValueError("bump_factor must exceed 1 to perturb the iterate")
+        self.patience = patience
+        self.bump_factor = bump_factor
+        self.cycle_length = max(cycle_length, 1)
+        self.min_delta = min_delta
+        self.best_metric: Optional[float] = None
+        self.bad_epochs = 0
+        self._cycle_pos: Optional[int] = None  # None = constant phase
+        self.num_restarts = 0
+
+    def step(self, metric: Optional[float] = None) -> float:
+        self.epoch += 1
+        if self._cycle_pos is None:
+            # Constant phase: watch for a plateau.
+            if metric is not None:
+                if (
+                    self.best_metric is None
+                    or metric > self.best_metric + self.min_delta
+                ):
+                    self.best_metric = metric
+                    self.bad_epochs = 0
+                else:
+                    self.bad_epochs += 1
+            if self.bad_epochs >= self.patience:
+                self._cycle_pos = 0
+                self.bad_epochs = 0
+                self.num_restarts += 1
+        lr = self.get_lr()
+        if self._cycle_pos is not None:
+            self._cycle_pos += 1
+            if self._cycle_pos > self.cycle_length:
+                self._cycle_pos = None  # cycle done, back to constant phase
+        self.optimizer.lr = lr
+        self.history.append(lr)
+        return lr
+
+    def get_lr(self) -> float:
+        if self._cycle_pos is None:
+            return self.base_lr
+        # Cosine from bump_factor*base down to base over cycle_length epochs.
+        frac = self._cycle_pos / self.cycle_length
+        cos = (1.0 + math.cos(math.pi * frac)) / 2.0
+        peak = self.bump_factor * self.base_lr
+        return self.base_lr + (peak - self.base_lr) * cos

@@ -1,0 +1,83 @@
+"""Checkpoint serialization: save/load module state as ``.npz`` files.
+
+Long CCQ runs (the `paper` scale) want restartable checkpoints.  A
+checkpoint bundles the model's parameters and buffers (via
+``Module.state_dict``) together with the per-layer bit configuration, so a
+mixed-precision model reloads at the exact precision it was saved at.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_BITS_KEY = "__bit_config_json__"
+
+
+def save_checkpoint(
+    model: Module,
+    path: Union[str, Path],
+    extra: Optional[Dict[str, float]] = None,
+) -> None:
+    """Write parameters, buffers and the bit configuration to ``path``.
+
+    ``extra`` is a flat dict of scalars (e.g. the baseline accuracy) kept
+    alongside the arrays.
+    """
+    from ..quantization.qmodules import get_bit_config, quantized_layers
+
+    state = model.state_dict()
+    meta = {
+        "bits": {
+            name: list(pair) for name, pair in get_bit_config(model).items()
+        } if list(quantized_layers(model)) else {},
+        "extra": extra or {},
+    }
+    state[_BITS_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(str(path), **state)
+
+
+def load_checkpoint(
+    model: Module, path: Union[str, Path]
+) -> Dict[str, float]:
+    """Restore a checkpoint into ``model``; returns the ``extra`` dict.
+
+    The bit configuration is re-applied to the model's quantized layers
+    (if any were saved), so the loaded network evaluates at the saved
+    precision immediately.
+    """
+    from ..quantization.qmodules import quantized_layers, set_bit_config
+
+    with np.load(str(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    meta_bytes = state.pop(_BITS_KEY, None)
+    meta = (
+        json.loads(bytes(meta_bytes.tolist()).decode("utf-8"))
+        if meta_bytes is not None
+        else {}
+    )
+    bits = {
+        name: tuple(pair) for name, pair in meta.get("bits", {}).items()
+    }
+    # Order matters: applying the bit config first lets the subsequent
+    # state load overwrite any statistics-derived quantizer state (LSQ
+    # steps, QIL intervals) with the *trained* saved values...
+    if bits:
+        set_bit_config(model, bits)
+    model.load_state_dict(state)
+    # ...and the quantizers are then marked initialized so their next
+    # forward does not re-derive that state from scratch.
+    for _, layer in quantized_layers(model):
+        for quantizer in (layer.weight_quantizer, layer.act_quantizer):
+            if hasattr(quantizer, "_initialized"):
+                quantizer._initialized = True
+    return dict(meta.get("extra", {}))

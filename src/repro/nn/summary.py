@@ -1,0 +1,129 @@
+"""Model summaries: a torchsummary-style table with MACs and precision.
+
+Builds on the same shape tracing the hardware model uses, adding
+per-layer output shapes, parameter counts, MACs and — for quantized
+models — the current (w_bits, a_bits), so a CCQ result can be inspected
+at a glance or dumped into a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import no_grad
+from .modules import Conv2d, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["LayerSummary", "summarize", "format_summary"]
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """One row of the model summary."""
+
+    name: str
+    kind: str
+    output_shape: Tuple[int, ...]
+    n_params: int
+    macs: int
+    w_bits: Optional[int]
+    a_bits: Optional[int]
+
+
+def summarize(
+    model: Module, input_shape: Tuple[int, int, int]
+) -> List[LayerSummary]:
+    """Trace one forward pass and summarize every conv/linear layer."""
+    from ..quantization.qmodules import QuantConv2d, QuantLinear
+    from ..hardware.mac import _conv_macs, _linear_macs
+
+    rows: List[LayerSummary] = []
+    records = {}
+    patched = []
+
+    def instrument(name: str, layer: Module) -> None:
+        original = layer.forward
+
+        def wrapper(x: Tensor, _name=name, _layer=layer, _orig=original):
+            out = _orig(x)
+            records[id(_layer)] = (x.shape, out.shape)
+            return out
+
+        object.__setattr__(layer, "forward", wrapper)
+        patched.append((layer, original))
+
+    tracked = (Conv2d, Linear, QuantConv2d, QuantLinear)
+    for name, module in model.named_modules():
+        if isinstance(module, tracked):
+            instrument(name, module)
+
+    try:
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(Tensor(np.zeros((1, *input_shape))))
+        if was_training:
+            model.train()
+    finally:
+        for layer, original in patched:
+            object.__setattr__(layer, "forward", original)
+
+    for name, module in model.named_modules():
+        entry = records.get(id(module))
+        if entry is None:
+            continue
+        in_shape, out_shape = entry
+        if isinstance(module, (Conv2d, QuantConv2d)):
+            macs = _conv_macs(module, in_shape)
+        else:
+            macs = _linear_macs(module)
+        n_params = module.weight.size + (
+            module.bias.size if module.bias is not None else 0
+        )
+        rows.append(
+            LayerSummary(
+                name=name,
+                kind=type(module).__name__,
+                output_shape=out_shape,
+                n_params=n_params,
+                macs=macs,
+                w_bits=getattr(module, "w_bits", None),
+                a_bits=getattr(module, "a_bits", None),
+            )
+        )
+    return rows
+
+
+def format_summary(
+    rows: List[LayerSummary], show_bits: bool = True
+) -> str:
+    """Render summary rows as an aligned text table."""
+    header = (
+        f"{'layer':<26} {'type':<12} {'output':<18} "
+        f"{'params':>9} {'MACs':>12}"
+    )
+    if show_bits:
+        header += f" {'W/A bits':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        line = (
+            f"{row.name:<26} {row.kind:<12} "
+            f"{str(tuple(row.output_shape)):<18} "
+            f"{row.n_params:>9,} {row.macs:>12,}"
+        )
+        if show_bits:
+            w = "fp" if row.w_bits is None else str(row.w_bits)
+            a = "fp" if row.a_bits is None else str(row.a_bits)
+            line += f" {w + '/' + a:>9}"
+        lines.append(line)
+    total_params = sum(r.n_params for r in rows)
+    total_macs = sum(r.macs for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<26} {'':<12} {'':<18} "
+        f"{total_params:>9,} {total_macs:>12,}"
+    )
+    return "\n".join(lines)

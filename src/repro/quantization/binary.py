@@ -1,0 +1,109 @@
+"""Binary quantizers: BNN (Courbariaux et al.) and XNOR-Net (Rastegari et al.).
+
+The earliest quantization-aware-training policies the paper's related work
+starts from:
+
+* **BNN** maps weights and activations to ±1 with a straight-through sign
+  whose gradient is masked outside [-1, 1] (the "hard-tanh STE").
+* **XNOR-Net** adds a per-output-channel scaling factor
+  ``alpha_f = E[|W_f|]`` so the binary convolution approximates the real
+  one; activations are binarized with a dynamic scale.
+
+Both generalize to multiple bits here (CCQ's ladders visit 8..2 before any
+binary floor): for ``bits > 1`` they fall back to the corresponding
+DoReFa-style multi-bit grid, keeping the per-channel scaling in the XNOR
+case — which doubles as this library's per-channel weight quantization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, WeightQuantizer, quantize_unit_ste
+
+__all__ = [
+    "BNNWeightQuantizer",
+    "BNNActivationQuantizer",
+    "XNORWeightQuantizer",
+    "per_channel_symmetric_quantize",
+]
+
+
+def _sign_ste(x: Tensor) -> Tensor:
+    """±1 sign with the BNN hard-tanh straight-through gradient."""
+    clipped = x.clip(-1.0, 1.0)
+    return F.round_ste((clipped + 1.0) * 0.5) * 2.0 - 1.0
+
+
+def per_channel_symmetric_quantize(weight: Tensor, bits: int) -> Tensor:
+    """Symmetric uniform quantization with one scale per output channel.
+
+    The clip magnitude of each output channel (axis 0) is its own
+    ``max|w|``; channels therefore keep their native dynamic range, which
+    matters for depthwise-narrow layers where a single tensor-wide scale
+    wastes most of the grid.
+    """
+    steps = max(2 ** (bits - 1) - 1, 1)
+    reduce_axes = tuple(range(1, weight.ndim))
+    if reduce_axes:
+        alphas = np.abs(weight.data).max(axis=reduce_axes, keepdims=True)
+    else:
+        # 1-D tensors have no channel axis to split on: one global scale.
+        alphas = np.abs(weight.data).max(keepdims=True)
+    alphas = np.maximum(alphas, 1e-12)
+    scale = alphas / steps
+    # clip(w, -a, a) per channel via two ReLU compositions (a is an
+    # ndarray, so Tensor.clip's scalar bounds don't apply).
+    upper = weight - (weight - alphas).relu()
+    clipped = upper + (-(upper) - alphas).relu()
+    return F.round_ste(clipped / scale) * scale
+
+
+class BNNWeightQuantizer(WeightQuantizer):
+    """sign(w) at 1 bit; DoReFa-style grid at higher precision."""
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        if bits == 1:
+            return _sign_ste(weight)
+        steps = max(2 ** (bits - 1) - 1, 1)
+        clipped = weight.clip(-1.0, 1.0)
+        return F.round_ste(clipped * steps) / steps
+
+
+class BNNActivationQuantizer(ActivationQuantizer):
+    """sign(x) at 1 bit; unit-interval grid at higher precision."""
+
+    def __init__(self, signed: bool = False) -> None:
+        super().__init__()
+        self.signed = signed
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if bits == 1:
+            return _sign_ste(x)
+        if self.signed:
+            steps = max(2 ** (bits - 1) - 1, 1)
+            return F.round_ste(x.clip(-1.0, 1.0) * steps) / steps
+        return quantize_unit_ste(x.clip(0.0, 1.0), bits)
+
+
+class XNORWeightQuantizer(WeightQuantizer):
+    """Per-output-channel scaled binarization / symmetric quantization.
+
+    At 1 bit this is exactly XNOR-Net's ``alpha_f * sign(W_f)`` with
+    ``alpha_f = E[|W_f|]``; at higher precision it becomes per-channel
+    symmetric uniform quantization.
+    """
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        if bits == 1:
+            reduce_axes = tuple(range(1, weight.ndim))
+            if reduce_axes:
+                alphas = np.abs(weight.data).mean(
+                    axis=reduce_axes, keepdims=True
+                )
+            else:
+                alphas = np.abs(weight.data).mean(keepdims=True)
+            return _sign_ste(weight) * alphas
+        return per_channel_symmetric_quantize(weight, bits)

@@ -1,0 +1,145 @@
+"""Post-training activation calibration.
+
+Static quantization needs a clip range for every layer's *input
+activations*, which — unlike weights — are only observable by running
+data through the network.  This module runs a calibration pass over a
+loader, records per-layer activation statistics with the observers of
+:mod:`repro.quantization.observers`, chooses a clip per layer (min/max,
+ACIQ, or TensorRT-style KL), and installs fixed-clip quantizers.
+
+Together with the weight-side :mod:`repro.quantization.static` this gives
+the complete static-quantization pipeline the paper's related work
+contrasts CCQ against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from ..nn import no_grad
+from ..nn.data import DataLoader
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, fake_quantize_symmetric, fake_quantize_unsigned
+from .observers import HistogramObserver, MinMaxObserver
+from .qmodules import quantized_layers
+from .static import aciq_clip, kl_divergence_clip
+
+__all__ = ["FixedClipActivationQuantizer", "calibrate_activations"]
+
+Method = Literal["minmax", "aciq", "kl"]
+
+
+class FixedClipActivationQuantizer(ActivationQuantizer):
+    """Activation quantizer with a calibration-time frozen clip."""
+
+    def __init__(self, alpha: float, signed: bool = False) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.signed = signed
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if self.signed:
+            return fake_quantize_symmetric(x, bits, self.alpha)
+        return fake_quantize_unsigned(x, bits, self.alpha)
+
+    def __repr__(self) -> str:
+        kind = "signed" if self.signed else "unsigned"
+        return f"FixedClipActivationQuantizer(alpha={self.alpha:.4g}, {kind})"
+
+
+def _choose_clip(
+    method: Method,
+    samples: np.ndarray,
+    histogram: HistogramObserver,
+    minmax: MinMaxObserver,
+    bits: int,
+) -> float:
+    if method == "minmax":
+        lo, hi = minmax.range()
+        return max(abs(lo), abs(hi), 1e-8)
+    if method == "aciq":
+        return aciq_clip(samples, bits=bits, dist="auto")
+    if method == "kl":
+        counts, max_abs = histogram.histogram()
+        return max(kl_divergence_clip(counts, max_abs, bits=bits), 1e-8)
+    raise ValueError(f"unknown calibration method {method!r}")
+
+
+def calibrate_activations(
+    model: Module,
+    loader: DataLoader,
+    bits: int,
+    method: Method = "kl",
+    max_batches: Optional[int] = 4,
+    sample_cap: int = 50000,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Observe activations, choose clips, install fixed quantizers.
+
+    Every quantized layer's activation quantizer is replaced with a
+    :class:`FixedClipActivationQuantizer` at the calibrated clip and set
+    to ``bits`` precision.  Returns ``{layer_name: alpha}``.
+
+    The calibration forward passes run with activation quantization
+    disabled (weights keep their current precision), matching the usual
+    calibrate-then-quantize order.
+    """
+    layers = quantized_layers(model)
+    if not layers:
+        raise ValueError("model has no quantized layers")
+    rng = np.random.default_rng(seed)
+
+    observers = {
+        name: (MinMaxObserver(), HistogramObserver(), [])
+        for name, _ in layers
+    }
+    originals = {}
+    for name, layer in layers:
+        originals[name] = layer.act_quantizer
+
+        class _Recorder(ActivationQuantizer):
+            def __init__(self, key: str) -> None:
+                super().__init__()
+                self._key = key
+
+            def __call__(self, x: Tensor) -> Tensor:
+                minmax, hist, samples = observers[self._key]
+                minmax.observe(x.data)
+                hist.observe(x.data)
+                flat = x.data.reshape(-1)
+                if flat.size > 2048:
+                    flat = rng.choice(flat, size=2048, replace=False)
+                samples.append(flat.copy())
+                return x
+
+        layer.act_quantizer = _Recorder(name)
+
+    try:
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            for batch_index, (images, _) in enumerate(loader):
+                if max_batches is not None and batch_index >= max_batches:
+                    break
+                model(Tensor(images))
+        if was_training:
+            model.train()
+    finally:
+        for name, layer in layers:
+            layer.act_quantizer = originals[name]
+
+    clips: Dict[str, float] = {}
+    for i, (name, layer) in enumerate(layers):
+        minmax, hist, samples = observers[name]
+        stacked = np.concatenate(samples)[:sample_cap]
+        alpha = _choose_clip(method, stacked, hist, minmax, bits)
+        signed = i == 0  # network input is zero-centred
+        layer.act_quantizer = FixedClipActivationQuantizer(alpha, signed=signed)
+        layer.a_bits = bits
+        clips[name] = alpha
+    return clips

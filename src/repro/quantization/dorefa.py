@@ -1,0 +1,56 @@
+"""DoReFa-Net quantizers (Zhou et al., 2016).
+
+Weights are squashed with ``tanh``, affinely mapped onto ``[0, 1]``,
+quantized on a uniform ``2^k``-level grid, then mapped back to
+``[-1, 1]``.  Activations are clipped to ``[0, 1]`` and quantized on the
+same grid.  Gradients use the straight-through estimator.
+"""
+
+from __future__ import annotations
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, WeightQuantizer, quantize_unit_ste
+
+__all__ = ["DoReFaWeightQuantizer", "DoReFaActivationQuantizer"]
+
+
+class DoReFaWeightQuantizer(WeightQuantizer):
+    """DoReFa weight transform: tanh-normalize -> k-bit grid -> [-1, 1]."""
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        if bits == 1:
+            # Binary special case from the paper: sign(w) * E[|w|].
+            scale = weight.abs().mean().item()
+            return _binarize(weight) * scale
+        squashed = weight.tanh()
+        max_abs = squashed.abs().max()
+        unit = squashed / (max_abs * 2.0) + 0.5
+        return quantize_unit_ste(unit, bits) * 2.0 - 1.0
+
+
+def _binarize(weight: Tensor) -> Tensor:
+    """Map to ±1 with a straight-through gradient."""
+    # round(clip(0.5 w + 0.5)) yields {0, 1}; affine to {-1, +1}.
+    unit = (weight * 0.5 + 0.5).clip(0.0, 1.0)
+    return F.round_ste(unit) * 2.0 - 1.0
+
+
+class DoReFaActivationQuantizer(ActivationQuantizer):
+    """Clip activations to ``[0, 1]`` and quantize to ``2^k`` levels.
+
+    With ``signed=True`` (used when a layer's input can be negative, e.g.
+    the network input image) a per-batch symmetric dynamic range
+    ``[-max|x|, max|x|]`` is quantized instead.
+    """
+
+    def __init__(self, signed: bool = False) -> None:
+        super().__init__()
+        self.signed = signed
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if self.signed:
+            max_abs = float(abs(x.data).max()) or 1.0
+            unit = (x / (2.0 * max_abs) + 0.5).clip(0.0, 1.0)
+            return (quantize_unit_ste(unit, bits) - 0.5) * (2.0 * max_abs)
+        return quantize_unit_ste(x.clip(0.0, 1.0), bits)

@@ -1,0 +1,91 @@
+"""Learned Step-size Quantization (Esser et al., 2019).
+
+LSQ learns the quantizer step size ``s`` by gradient descent jointly with
+the weights:
+
+    q = clip(x / s, Qn, Qp);  x_hat = round(q) * s
+
+The round uses an STE, so the gradient w.r.t. ``s`` comes out as
+``round(q) - q`` inside the clip range and ``Qn``/``Qp`` on the saturated
+tails — exactly the LSQ update.  The step size is (re-)initialized from
+the tensor statistics ``2 E[|x|] / sqrt(Qp)`` whenever the bit width
+changes, which is what lets LSQ follow CCQ's gradual bit reductions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Parameter
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, WeightQuantizer
+
+__all__ = ["LSQWeightQuantizer", "LSQActivationQuantizer"]
+
+
+def _lsq_bounds(bits: int, signed: bool) -> tuple:
+    if signed:
+        return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    return 0, 2 ** bits - 1
+
+
+def _lsq_quantize(x: Tensor, step: Parameter, bits: int, signed: bool) -> Tensor:
+    if float(step.data) <= 1e-8:
+        # Gradient descent can push the step through zero; re-anchor it.
+        step.data[...] = _init_step(x.data, bits, signed)
+    qn, qp = _lsq_bounds(bits, signed)
+    q = (x / step).clip(float(qn), float(qp))
+    return F.round_ste(q) * step
+
+
+def _init_step(data: np.ndarray, bits: int, signed: bool) -> float:
+    _, qp = _lsq_bounds(bits, signed)
+    mean_abs = float(np.mean(np.abs(data))) or 1e-3
+    return 2.0 * mean_abs / np.sqrt(max(qp, 1))
+
+
+class LSQWeightQuantizer(WeightQuantizer):
+    """Signed LSQ quantizer with a learnable per-layer step size."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.step = Parameter(np.asarray(0.0))
+        self._initialized = False
+
+    def parameters(self) -> List[Parameter]:
+        return [self.step]
+
+    def on_bits_change(self, previous: Optional[int], new: Optional[int]) -> None:
+        # Force re-initialization from statistics at the new precision.
+        self._initialized = False
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        if not self._initialized:
+            self.step.data[...] = _init_step(weight.data, bits, signed=True)
+            self._initialized = True
+        return _lsq_quantize(weight, self.step, bits, signed=True)
+
+
+class LSQActivationQuantizer(ActivationQuantizer):
+    """Unsigned (or signed, for raw inputs) LSQ activation quantizer."""
+
+    def __init__(self, signed: bool = False) -> None:
+        super().__init__()
+        self.signed = signed
+        self.step = Parameter(np.asarray(0.0))
+        self._initialized = False
+
+    def parameters(self) -> List[Parameter]:
+        return [self.step]
+
+    def on_bits_change(self, previous: Optional[int], new: Optional[int]) -> None:
+        self._initialized = False
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if not self._initialized:
+            self.step.data[...] = _init_step(x.data, bits, signed=self.signed)
+            self._initialized = True
+        return _lsq_quantize(x, self.step, bits, signed=self.signed)

@@ -1,0 +1,90 @@
+"""Range observers for post-training (static) quantization calibration."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MinMaxObserver", "MovingAverageMinMaxObserver", "HistogramObserver"]
+
+
+class MinMaxObserver:
+    """Track the global min/max of everything observed."""
+
+    def __init__(self) -> None:
+        self.min_val: Optional[float] = None
+        self.max_val: Optional[float] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        lo = float(values.min())
+        hi = float(values.max())
+        self.min_val = lo if self.min_val is None else min(self.min_val, lo)
+        self.max_val = hi if self.max_val is None else max(self.max_val, hi)
+
+    def range(self) -> Tuple[float, float]:
+        if self.min_val is None:
+            raise RuntimeError("observer has seen no data")
+        return self.min_val, self.max_val
+
+
+class MovingAverageMinMaxObserver:
+    """Exponential-moving-average min/max (robust to outlier batches)."""
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        self.momentum = momentum
+        self.min_val: Optional[float] = None
+        self.max_val: Optional[float] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        lo = float(values.min())
+        hi = float(values.max())
+        if self.min_val is None:
+            self.min_val, self.max_val = lo, hi
+        else:
+            m = self.momentum
+            self.min_val = m * self.min_val + (1 - m) * lo
+            self.max_val = m * self.max_val + (1 - m) * hi
+
+    def range(self) -> Tuple[float, float]:
+        if self.min_val is None:
+            raise RuntimeError("observer has seen no data")
+        return self.min_val, self.max_val
+
+
+class HistogramObserver:
+    """Accumulate a histogram of observed magnitudes for KL calibration."""
+
+    def __init__(self, n_bins: int = 2048) -> None:
+        self.n_bins = n_bins
+        self.counts: Optional[np.ndarray] = None
+        self.max_abs = 0.0
+
+    def observe(self, values: np.ndarray) -> None:
+        abs_vals = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+        hi = float(abs_vals.max()) if abs_vals.size else 0.0
+        if self.counts is None:
+            self.max_abs = max(hi, 1e-12)
+            self.counts = np.histogram(
+                abs_vals, bins=self.n_bins, range=(0.0, self.max_abs)
+            )[0].astype(np.float64)
+            return
+        if hi > self.max_abs:
+            # Re-bin the existing histogram onto the wider range.
+            old_edges = np.linspace(0.0, self.max_abs, self.n_bins + 1)
+            centers = (old_edges[:-1] + old_edges[1:]) / 2.0
+            self.max_abs = hi
+            new_counts = np.histogram(
+                centers, bins=self.n_bins, range=(0.0, self.max_abs),
+                weights=self.counts,
+            )[0]
+            self.counts = new_counts
+        self.counts += np.histogram(
+            abs_vals, bins=self.n_bins, range=(0.0, self.max_abs)
+        )[0]
+
+    def histogram(self) -> Tuple[np.ndarray, float]:
+        """Return ``(counts, max_abs)``; raises if nothing observed."""
+        if self.counts is None:
+            raise RuntimeError("observer has seen no data")
+        return self.counts, self.max_abs

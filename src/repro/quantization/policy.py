@@ -1,0 +1,131 @@
+"""Quantization-policy registry.
+
+A :class:`QuantPolicy` bundles a weight-quantizer factory and an
+activation-quantizer factory under a name.  CCQ is *policy-agnostic*
+(Section III of the paper): it consumes any registered policy and only
+manipulates the per-layer bit widths, so new policies plug in by
+registering two factories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .base import ActivationQuantizer, WeightQuantizer
+from .binary import BNNActivationQuantizer, BNNWeightQuantizer, XNORWeightQuantizer
+from .dorefa import DoReFaActivationQuantizer, DoReFaWeightQuantizer
+from .lqnets import LQNetsActivationQuantizer, LQNetsWeightQuantizer
+from .lsq import LSQActivationQuantizer, LSQWeightQuantizer
+from .pact import PACTActivationQuantizer, PACTWeightQuantizer
+from .qil import QILActivationQuantizer, QILWeightQuantizer
+from .sawb import SAWBWeightQuantizer
+from .wrpn import WRPNActivationQuantizer, WRPNWeightQuantizer
+
+__all__ = ["QuantPolicy", "register_policy", "get_policy", "available_policies"]
+
+WeightFactory = Callable[[], WeightQuantizer]
+ActFactory = Callable[[bool], ActivationQuantizer]
+
+
+@dataclass(frozen=True)
+class QuantPolicy:
+    """A named pairing of weight and activation quantizer factories."""
+
+    name: str
+    make_weight_quantizer: WeightFactory
+    make_act_quantizer: ActFactory
+
+    def __repr__(self) -> str:
+        return f"QuantPolicy({self.name!r})"
+
+
+_REGISTRY: Dict[str, QuantPolicy] = {}
+
+
+def register_policy(policy: QuantPolicy) -> QuantPolicy:
+    """Add a policy to the registry (overwrites an existing name)."""
+    _REGISTRY[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str) -> QuantPolicy:
+    """Look a policy up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown quantization policy {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+register_policy(
+    QuantPolicy(
+        "dorefa",
+        DoReFaWeightQuantizer,
+        lambda signed: DoReFaActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "wrpn",
+        WRPNWeightQuantizer,
+        lambda signed: WRPNActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "pact",
+        PACTWeightQuantizer,
+        lambda signed: PACTActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "pact_sawb",
+        SAWBWeightQuantizer,
+        lambda signed: PACTActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "lsq",
+        LSQWeightQuantizer,
+        lambda signed: LSQActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "lqnets",
+        LQNetsWeightQuantizer,
+        lambda signed: LQNetsActivationQuantizer(signed=signed),
+    )
+)
+
+register_policy(
+    QuantPolicy(
+        "qil",
+        QILWeightQuantizer,
+        lambda signed: QILActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "bnn",
+        BNNWeightQuantizer,
+        lambda signed: BNNActivationQuantizer(signed=signed),
+    )
+)
+register_policy(
+    QuantPolicy(
+        "xnor",
+        XNORWeightQuantizer,
+        lambda signed: BNNActivationQuantizer(signed=signed),
+    )
+)

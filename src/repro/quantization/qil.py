@@ -1,0 +1,120 @@
+"""QIL — Quantization Interval Learning (Jung et al., CVPR 2019).
+
+QIL learns, per layer, a *quantization interval* through two parameters —
+a center ``c`` and a half-width ``d`` — trained by the task loss:
+
+* values with ``|x| < c - d`` are pruned to zero;
+* values with ``|x| > c + d`` saturate to ±1;
+* values inside the interval are affinely mapped onto ``[0, 1]`` (and an
+  optional exponent ``gamma`` bends the mapping) before uniform
+  quantization.
+
+Because both the pruning threshold and the clipping threshold are learned
+jointly with the weights, QIL discovers non-uniform effective intervals —
+the property the paper's Table II cites it for.  Gradients reach ``c`` and
+``d`` through the affine transform on the non-saturated region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Parameter
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, WeightQuantizer
+
+__all__ = ["QILWeightQuantizer", "QILActivationQuantizer"]
+
+
+def _interval_transform(
+    magnitude: Tensor, center: Parameter, half_width: Parameter
+) -> Tensor:
+    """Map ``|x|`` onto [0, 1] through the learned interval (c - d, c + d)."""
+    lower = center - half_width
+    width = half_width * 2.0
+    return ((magnitude - lower) / width).clip(0.0, 1.0)
+
+
+def _init_interval(values: np.ndarray) -> tuple:
+    """Cover the bulk of the distribution: prune the bottom decile, clip
+    near the observed maximum."""
+    mags = np.abs(values)
+    lo = float(np.quantile(mags, 0.1))
+    hi = float(np.quantile(mags, 0.99))
+    if hi <= lo:
+        hi = lo + 1e-3
+    return (lo + hi) / 2.0, (hi - lo) / 2.0
+
+
+class QILWeightQuantizer(WeightQuantizer):
+    """Signed interval-learning weight quantizer."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.center = Parameter(np.asarray(0.5))
+        self.half_width = Parameter(np.asarray(0.5))
+        self._initialized = False
+
+    def parameters(self) -> List[Parameter]:
+        return [self.center, self.half_width]
+
+    def on_bits_change(self, previous: Optional[int], new: Optional[int]) -> None:
+        # The interval is re-anchored to the weight statistics whenever the
+        # precision changes (mirrors LSQ's step re-initialization).
+        self._initialized = False
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        if not self._initialized:
+            c, d = _init_interval(weight.data)
+            self.center.data[...] = c
+            self.half_width.data[...] = d
+            self._initialized = True
+        if float(self.half_width.data) <= 1e-6:
+            self.half_width.data[...] = 1e-3
+        sign = np.sign(weight.data)
+        unit = _interval_transform(weight.abs(), self.center, self.half_width)
+        steps = max(2 ** (bits - 1) - 1, 1)
+        quantized_unit = F.round_ste(unit * steps) / steps
+        return quantized_unit * sign
+
+
+class QILActivationQuantizer(ActivationQuantizer):
+    """Unsigned (post-ReLU) interval-learning activation quantizer.
+
+    ``signed=True`` applies the weight-style signed transform instead,
+    for layers fed by zero-centred inputs (the network input).
+    """
+
+    def __init__(self, signed: bool = False) -> None:
+        super().__init__()
+        self.signed = signed
+        self.center = Parameter(np.asarray(0.5))
+        self.half_width = Parameter(np.asarray(0.5))
+        self._initialized = False
+
+    def parameters(self) -> List[Parameter]:
+        return [self.center, self.half_width]
+
+    def on_bits_change(self, previous: Optional[int], new: Optional[int]) -> None:
+        self._initialized = False
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if not self._initialized:
+            values = x.data if self.signed else np.maximum(x.data, 0.0)
+            c, d = _init_interval(values)
+            self.center.data[...] = c
+            self.half_width.data[...] = d
+            self._initialized = True
+        if float(self.half_width.data) <= 1e-6:
+            self.half_width.data[...] = 1e-3
+        if self.signed:
+            sign = np.sign(x.data)
+            unit = _interval_transform(x.abs(), self.center, self.half_width)
+            steps = max(2 ** (bits - 1) - 1, 1)
+            return F.round_ste(unit * steps) / steps * sign
+        unit = _interval_transform(x.relu(), self.center, self.half_width)
+        steps = 2 ** bits - 1
+        return F.round_ste(unit * steps) / steps

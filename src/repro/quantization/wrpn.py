@@ -1,0 +1,40 @@
+"""WRPN quantizers (Mishra et al., 2017).
+
+Weights are clipped to ``[-1, 1]`` and quantized with ``k - 1`` fractional
+bits (one bit is spent on sign); activations are clipped to ``[0, 1]`` and
+quantized with ``k`` bits.  WRPN pairs this with widened layers; width
+scaling lives in the model constructors (``width_mult``), keeping the
+quantizer itself minimal.
+"""
+
+from __future__ import annotations
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import ActivationQuantizer, WeightQuantizer, quantize_unit_ste
+
+__all__ = ["WRPNWeightQuantizer", "WRPNActivationQuantizer"]
+
+
+class WRPNWeightQuantizer(WeightQuantizer):
+    """Clip to ``[-1, 1]`` then round onto ``2^(k-1) - 1`` magnitude steps."""
+
+    def quantize(self, weight: Tensor, bits: int) -> Tensor:
+        steps = max(2 ** (bits - 1) - 1, 1)
+        clipped = weight.clip(-1.0, 1.0)
+        return F.round_ste(clipped * steps) / steps
+
+
+class WRPNActivationQuantizer(ActivationQuantizer):
+    """Clip to ``[0, 1]`` then quantize to ``2^k - 1`` steps."""
+
+    def __init__(self, signed: bool = False) -> None:
+        super().__init__()
+        self.signed = signed
+
+    def quantize(self, x: Tensor, bits: int) -> Tensor:
+        if self.signed:
+            steps = max(2 ** (bits - 1) - 1, 1)
+            clipped = x.clip(-1.0, 1.0)
+            return F.round_ste(clipped * steps) / steps
+        return quantize_unit_ste(x.clip(0.0, 1.0), bits)

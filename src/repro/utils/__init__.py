@@ -1,0 +1,6 @@
+"""``repro.utils`` — terminal and SVG plotting utilities."""
+
+from .plot import ascii_plot, sparkline
+from .svg import Series, bar_chart, line_chart
+
+__all__ = ["ascii_plot", "sparkline", "Series", "line_chart", "bar_chart"]

@@ -1,0 +1,72 @@
+"""Terminal plotting for an offline environment.
+
+The paper's figures are line plots (learning curves, LR schedules, sweep
+curves).  With no display or plotting library available, the benchmark
+harness renders them as ASCII so a ``pytest -s`` run shows the figure
+shape directly in the terminal, and the examples can visualize their
+results without dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline, e.g. ``▁▂▅▇█▆``."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    series: Sequence[float],
+    height: int = 10,
+    width: Optional[int] = None,
+    label: str = "",
+) -> str:
+    """Render one series as a multi-line ASCII chart.
+
+    ``width`` resamples the series to at most that many columns (nearest
+    neighbour); the y-axis is annotated with the min/max values.
+    """
+    values = [float(v) for v in series]
+    if not values:
+        return "(empty series)"
+    if width is not None and len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo if hi > lo else 1.0
+    rows: List[List[str]] = [
+        [" "] * len(values) for _ in range(height)
+    ]
+    for x, v in enumerate(values):
+        y = int(round((v - lo) / span * (height - 1)))
+        rows[height - 1 - y][x] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    for i, row in enumerate(rows):
+        if i == 0:
+            prefix = f"{hi:8.3f} |"
+        elif i == height - 1:
+            prefix = f"{lo:8.3f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * len(values))
+    return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Minimal SVG chart writer (no plotting libraries available offline).
+
+Produces self-contained ``.svg`` line and bar charts good enough to
+render the paper's figures from the benchmark results.  Only the features
+the figures need are implemented: linear axes with ticks, multiple named
+series, a legend, log-scale bars for the power chart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "line_chart", "bar_chart"]
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#17becf", "#7f7f7f")
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 24, 36, 46
+
+
+@dataclass
+class Series:
+    """One named line on a chart."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    color: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+        if not self.x:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(n - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def line_chart(
+    series: Sequence[Series],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Render series as an SVG line chart and return the SVG text."""
+    if not series:
+        raise ValueError("no series to plot")
+    xs = [v for s in series for v in s.x]
+    ys = [v for s in series for v in s.y]
+    x_ticks = _nice_ticks(min(xs), max(xs))
+    y_ticks = _nice_ticks(min(ys), max(ys))
+    x0, x1 = x_ticks[0], x_ticks[-1]
+    y0, y1 = y_ticks[0], y_ticks[-1]
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x0) / (x1 - x0) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + (1 - (y - y0) / (y1 - y0)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{_escape(title)}</text>'
+        )
+    # Axes frame + grid.
+    for t in x_ticks:
+        x = px(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{t:g}</text>'
+        )
+    for t in y_ticks:
+        y = py(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{t:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{_MARGIN_L + plot_w / 2}" y="{height - 8}" '
+            f'text-anchor="middle">{_escape(x_label)}</text>'
+        )
+    if y_label:
+        cx, cy = 14, _MARGIN_T + plot_h / 2
+        parts.append(
+            f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+            f'transform="rotate(-90 {cx} {cy})">{_escape(y_label)}</text>'
+        )
+    # Series.
+    for i, s in enumerate(series):
+        color = s.color or _COLORS[i % len(_COLORS)]
+        points = " ".join(
+            f"{px(x):.1f},{py(y):.1f}" for x, y in zip(s.x, s.y)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in zip(s.x, s.y):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.4" '
+                f'fill="{color}"/>'
+            )
+        # Legend entry.
+        ly = _MARGIN_T + 14 + i * 15
+        lx = _MARGIN_L + plot_w - 130
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 24}" y="{ly}">{_escape(s.label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(
+    groups: Sequence[str],
+    bars: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+    y_label: str = "",
+    log_scale: bool = False,
+    width: int = 640,
+    height: int = 380,
+) -> str:
+    """Grouped bar chart; ``bars`` is ``[(label, values per group), ...]``.
+
+    ``log_scale=True`` plots bar heights on log10 (the Fig. 5 power chart
+    spans three orders of magnitude).
+    """
+    if not groups or not bars:
+        raise ValueError("need at least one group and one bar series")
+    for label, values in bars:
+        if len(values) != len(groups):
+            raise ValueError(
+                f"bar series {label!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    values_all = [v for _, vs in bars for v in vs]
+    if log_scale and min(values_all) <= 0:
+        raise ValueError("log scale requires positive values")
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_scale else v
+
+    tv = [transform(v) for v in values_all]
+    lo = min(tv + [0.0]) if not log_scale else min(tv) - 0.3
+    hi = max(tv)
+    span = (hi - lo) or 1.0
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+    group_w = plot_w / len(groups)
+    bar_w = group_w * 0.8 / len(bars)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{_escape(title)}</text>'
+        )
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>'
+    )
+    if y_label:
+        cx, cy = 14, _MARGIN_T + plot_h / 2
+        parts.append(
+            f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+            f'transform="rotate(-90 {cx} {cy})">{_escape(y_label)}</text>'
+        )
+    for gi, group in enumerate(groups):
+        gx = _MARGIN_L + gi * group_w
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" '
+            f'y="{_MARGIN_T + plot_h + 16}" text-anchor="middle">'
+            f"{_escape(group)}</text>"
+        )
+        for bi, (label, values) in enumerate(bars):
+            color = _COLORS[bi % len(_COLORS)]
+            h = (transform(values[gi]) - lo) / span * plot_h
+            x = gx + group_w * 0.1 + bi * bar_w
+            y = _MARGIN_T + plot_h - h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{_escape(label)}: {values[gi]:g}</title></rect>"
+            )
+    for bi, (label, _) in enumerate(bars):
+        color = _COLORS[bi % len(_COLORS)]
+        ly = _MARGIN_T + 14 + bi * 15
+        lx = _MARGIN_L + plot_w - 150
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 9}" width="12" height="9" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 18}" y="{ly}">{_escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

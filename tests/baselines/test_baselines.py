@@ -1,0 +1,147 @@
+"""Baselines: pretraining, one-shot, uniform rows, HAWQ proxy."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.baselines import (
+    OneShotConfig,
+    PretrainConfig,
+    TableRow,
+    assign_bits_by_sensitivity,
+    edge_aware_config,
+    estimate_layer_sensitivities,
+    hawq_quantize,
+    one_shot_quantize,
+    pretrain,
+    uniform_quantize,
+)
+from repro.baselines.hawq import LayerSensitivity
+from repro.quantization import quantize_model, quantized_layers
+
+
+class TestPretrain:
+    def test_learns_tiny_task(self, tiny_loaders):
+        train, val = tiny_loaders
+        net = models.SmallConvNet(width=8, rng=np.random.default_rng(9))
+        result = pretrain(
+            net, train, val, PretrainConfig(epochs=6, lr=0.05, weight_decay=0)
+        )
+        assert result.baseline_accuracy > 0.5
+        assert len(result.accuracy_history) == 6
+        assert result.loss_history[-1] < result.loss_history[0]
+
+
+class TestEdgeAwareConfig:
+    def test_fp_edges(self, pretrained_net):
+        net, _ = pretrained_net
+        quantize_model(net, "dorefa")
+        config = edge_aware_config(net, middle_bits=3)
+        names = [n for n, _ in quantized_layers(net)]
+        assert config[names[0]] == (None, None)
+        assert config[names[-1]] == (None, None)
+        assert config[names[1]] == (3, 3)
+
+    def test_custom_edges(self, pretrained_net):
+        net, _ = pretrained_net
+        quantize_model(net, "dorefa")
+        config = edge_aware_config(net, 2, first_bits=8, last_bits=4)
+        names = [n for n, _ in quantized_layers(net)]
+        assert config[names[0]] == (8, 8)
+        assert config[names[-1]] == (4, 4)
+
+    def test_requires_quantized_model(self):
+        net = models.SmallConvNet(width=4)
+        with pytest.raises(ValueError):
+            edge_aware_config(net, 3)
+
+
+class TestOneShot:
+    def test_quantizes_and_recovers(self, pretrained_net, tiny_loaders):
+        net, baseline = pretrained_net
+        train, val = tiny_loaders
+        quantize_model(net, "pact")
+        config = edge_aware_config(net, middle_bits=3)
+        result = one_shot_quantize(
+            net, train, val, config,
+            config=OneShotConfig(epochs=2, lr=0.02),
+        )
+        assert result.final.accuracy >= result.post_quant.accuracy - 0.05
+        assert result.compression > 1.0
+        assert len(result.accuracy_history) == 2
+
+    def test_unknown_layer_rejected(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        train, val = tiny_loaders
+        quantize_model(net, "pact")
+        with pytest.raises(KeyError):
+            one_shot_quantize(net, train, val, {"missing": (4, 4)})
+
+
+class TestUniform:
+    def test_row_fields(self, pretrained_net, tiny_loaders):
+        net, baseline = pretrained_net
+        train, val = tiny_loaders
+        row, result = uniform_quantize(
+            net, train, val, policy="dorefa", bits=4,
+            baseline_accuracy=baseline,
+            config=OneShotConfig(epochs=1, lr=0.02),
+        )
+        assert row.bits == "4/4"
+        assert row.first_last == "32/32"
+        assert row.degradation == pytest.approx(
+            baseline - result.final.accuracy
+        )
+        assert "dorefa" in row.formatted()
+        assert "Framework" in TableRow.header()
+
+
+class TestHAWQ:
+    def test_sensitivities_for_every_layer(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        train, _ = tiny_loaders
+        quantize_model(net, "pact")
+        sens = estimate_layer_sensitivities(net, train, n_probes=1)
+        assert len(sens) == 4
+        assert all(np.isfinite(s.trace) for s in sens)
+
+    def test_assignment_respects_budget(self):
+        sens = [
+            LayerSensitivity("a", 1000, trace=100.0),
+            LayerSensitivity("b", 1000, trace=1.0),
+            LayerSensitivity("c", 1000, trace=10.0),
+        ]
+        config = assign_bits_by_sensitivity(
+            sens, bit_menu=(2, 4, 8), target_compression=8.0
+        )
+        total_bits = sum(1000 * w for w, _ in config.values())
+        assert total_bits <= 3000 * 32 / 8.0
+
+    def test_sensitive_layers_get_more_bits(self):
+        sens = [
+            LayerSensitivity("hot", 100, trace=1000.0),
+            LayerSensitivity("cold", 100, trace=0.001),
+        ]
+        config = assign_bits_by_sensitivity(
+            sens, bit_menu=(2, 4, 8), target_compression=6.0
+        )
+        assert config["hot"][0] >= config["cold"][0]
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ValueError):
+            assign_bits_by_sensitivity([], bit_menu=())
+
+    def test_full_pipeline(self, pretrained_net, tiny_loaders):
+        net, baseline = pretrained_net
+        train, val = tiny_loaders
+        result = hawq_quantize(
+            net, train, val, policy="pact",
+            target_compression=6.0,
+            config=OneShotConfig(epochs=1, lr=0.02),
+            n_probes=1,
+        )
+        assert result.compression >= 5.0
+        assert np.isfinite(result.final.accuracy)
+        # Mixed precision: at least two distinct bit widths assigned.
+        widths = {w for w, _ in result.bit_config.values()}
+        assert len(widths) >= 1

@@ -1,0 +1,95 @@
+"""HAQ-style RL bit search."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.baselines import HAQConfig, haq_search
+from repro.baselines.haq import _repair_to_budget
+from repro.quantization import quantize_model
+
+
+class TestBudgetRepair:
+    def test_in_budget_unchanged(self):
+        sizes = np.array([100.0, 100.0])
+        menu = [2, 4, 8]
+        choice = np.array([0, 0])  # all 2-bit
+        repaired = _repair_to_budget(choice, sizes, menu, budget_bits=1e9)
+        np.testing.assert_array_equal(repaired, choice)
+
+    def test_demotes_largest_layer_first(self):
+        sizes = np.array([1000.0, 10.0])
+        menu = [2, 4, 8]
+        choice = np.array([2, 2])  # both 8-bit -> 8080 bits
+        repaired = _repair_to_budget(choice, sizes, menu, budget_bits=4200.0)
+        # The big layer must come down; the small one can stay.
+        assert repaired[0] < 2
+        assert repaired[1] == 2
+
+    def test_respects_budget_when_feasible(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(10, 1000, size=6).astype(float)
+        menu = [2, 3, 4, 8]
+        budget = sizes.sum() * 32.0 / 8.0
+        choice = np.full(6, 3)
+        repaired = _repair_to_budget(choice, sizes, menu, budget)
+        total = (sizes * np.asarray(menu)[repaired]).sum()
+        assert total <= budget
+
+    def test_stops_at_floor(self):
+        sizes = np.array([100.0])
+        menu = [2, 4]
+        repaired = _repair_to_budget(np.array([1]), sizes, menu, budget_bits=1.0)
+        assert repaired[0] == 0  # floor, even though still over budget
+
+
+class TestSearch:
+    @pytest.fixture()
+    def make_pretrained(self, pretrained_state):
+        state, _ = pretrained_state
+
+        def factory():
+            net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+            net.load_state_dict(state)
+            quantize_model(net, "pact")
+            return net
+
+        return factory
+
+    def test_search_returns_in_budget_configs(self, make_pretrained,
+                                              tiny_loaders):
+        train, val = tiny_loaders
+        config = HAQConfig(
+            episodes=3, finetune_epochs=1, target_compression=8.0,
+            max_batches_per_epoch=2,
+        )
+        result = haq_search(make_pretrained, train, val, config)
+        assert len(result.episodes) == 3
+        assert result.best.compression >= 8.0 - 1e-6
+        assert 0.0 <= result.best.accuracy <= 1.0
+
+    def test_search_cost_accounting(self, make_pretrained, tiny_loaders):
+        train, val = tiny_loaders
+        config = HAQConfig(
+            episodes=2, finetune_epochs=2, max_batches_per_epoch=1,
+        )
+        result = haq_search(make_pretrained, train, val, config)
+        assert result.search_cost_epochs == 4
+
+    def test_best_is_argmax_of_episodes(self, make_pretrained, tiny_loaders):
+        train, val = tiny_loaders
+        config = HAQConfig(episodes=3, finetune_epochs=1,
+                           max_batches_per_epoch=1)
+        result = haq_search(make_pretrained, train, val, config)
+        assert result.best.accuracy == max(
+            e.accuracy for e in result.episodes
+        )
+
+    def test_rejects_unquantized_factory(self, tiny_loaders):
+        train, val = tiny_loaders
+
+        def bad_factory():
+            return models.SmallConvNet(width=4)
+
+        with pytest.raises(ValueError):
+            haq_search(bad_factory, train, val, HAQConfig(episodes=1))

@@ -1,0 +1,135 @@
+"""Block-granularity CCQ: grouped experts."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitLadder, CCQConfig, CCQQuantizer, RecoveryConfig
+from repro.quantization import quantize_model, quantized_layers
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        ladder=BitLadder((8, 4)),
+        probes_per_step=2,
+        probe_batches=1,
+        recovery=RecoveryConfig(mode="manual", epochs=0, use_hybrid_lr=False),
+        lr=0.02,
+        initial_recovery_epochs=0,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return CCQConfig(**defaults)
+
+
+@pytest.fixture()
+def quantized_pretrained(pretrained_net):
+    net, baseline = pretrained_net
+    quantize_model(net, "pact")
+    return net, baseline
+
+
+class TestGroupValidation:
+    def test_unknown_member_rejected(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(KeyError, match="unknown layer"):
+            CCQQuantizer(net, train, val, config=fast_config(),
+                         groups={"block": ["missing"]})
+
+    def test_duplicate_member_rejected(self, quantized_pretrained,
+                                       tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(ValueError, match="appears in groups"):
+            CCQQuantizer(
+                net, train, val, config=fast_config(),
+                groups={"a": ["conv1"], "b": ["conv1"]},
+            )
+
+    def test_empty_group_rejected(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(ValueError, match="empty"):
+            CCQQuantizer(net, train, val, config=fast_config(),
+                         groups={"a": []})
+
+    def test_mixed_targets_rejected(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(ValueError, match="mixes target"):
+            CCQQuantizer(
+                net, train, val, config=fast_config(),
+                target_config={"conv1": 4, "conv2": 8},
+                groups={"stem": ["conv1", "conv2"]},
+            )
+
+
+class TestGroupedRun:
+    def test_expert_count(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=fast_config(),
+            groups={"stem": ["conv1", "conv2"]},
+        )
+        # stem group + conv3 + fc singletons = 3 experts for 4 layers
+        assert len(ccq.experts) == 3
+        names = [n for n, _ in ccq.experts]
+        assert "stem" in names and "conv3" in names and "fc" in names
+
+    def test_group_members_move_together(self, quantized_pretrained,
+                                         tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=fast_config(),
+            groups={"stem": ["conv1", "conv2"]},
+        )
+        result = ccq.run()
+        layers = dict(quantized_layers(net))
+        assert layers["conv1"].w_bits == layers["conv2"].w_bits == 4
+        # One record per expert level-drop: 3 experts x 1 drop
+        assert len(result.records) == 3
+
+    def test_group_size_is_summed(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=fast_config(),
+            groups={"stem": ["conv1", "conv2"]},
+        )
+        ccq.initialize()
+        sizes = ccq._layer_sizes()
+        layers = dict(quantized_layers(net))
+        stem_index = [n for n, _ in ccq.experts].index("stem")
+        expected = 8 * (
+            layers["conv1"].weight.size + layers["conv2"].weight.size
+        )
+        assert sizes[stem_index] == pytest.approx(expected)
+
+    def test_probe_restores_group(self, quantized_pretrained, tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=fast_config(),
+            groups={"stem": ["conv1", "conv2"]},
+        )
+        ccq.initialize()
+        from repro.quantization import get_bit_config
+
+        before = get_bit_config(net)
+        stem_index = [n for n, _ in ccq.experts].index("stem")
+        ccq._probe_loss(stem_index)
+        assert get_bit_config(net) == before
+
+    def test_records_use_expert_names(self, quantized_pretrained,
+                                      tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=fast_config(),
+            groups={"stem": ["conv1", "conv2"]},
+        )
+        result = ccq.run()
+        names = {r.layer_name for r in result.records}
+        assert names == {"stem", "conv3", "fc"}

@@ -1,0 +1,102 @@
+"""Hardware-aware (MAC-weighted) competition mixing."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitLadder, CCQConfig, CCQQuantizer, RecoveryConfig
+from repro.quantization import quantize_model
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        ladder=BitLadder((8, 4)),
+        probes_per_step=1,
+        probe_batches=1,
+        recovery=RecoveryConfig(mode="manual", epochs=0, use_hybrid_lr=False),
+        initial_recovery_epochs=0,
+        initial_recovery_adaptive=False,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return CCQConfig(**defaults)
+
+
+@pytest.fixture()
+def quantized_pretrained(pretrained_net):
+    net, baseline = pretrained_net
+    quantize_model(net, "pact")
+    return net, baseline
+
+
+class TestSizeMetric:
+    def test_macs_requires_input_shape(self, quantized_pretrained,
+                                       tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(ValueError, match="input_shape"):
+            CCQQuantizer(net, train, val,
+                         config=fast_config(size_metric="macs"))
+
+    def test_invalid_metric_rejected(self, quantized_pretrained,
+                                     tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        with pytest.raises(ValueError, match="size_metric"):
+            CCQQuantizer(net, train, val,
+                         config=fast_config(size_metric="latency"))
+
+    def test_mac_sizes_differ_from_memory_sizes(self, quantized_pretrained,
+                                                tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        mem = CCQQuantizer(net, train, val, config=fast_config())
+        mem.initialize()
+        mem_sizes = np.asarray(mem._layer_sizes())
+
+        net2, _ = quantized_pretrained, None
+        mac = CCQQuantizer(
+            net, train, val,
+            config=fast_config(size_metric="macs",
+                               input_shape=(3, 12, 12)),
+        )
+        mac_sizes = np.asarray(mac._layer_sizes())
+        # Normalized distributions must differ: conv1 has few params but
+        # many MACs (full spatial resolution).
+        mem_p = mem_sizes / mem_sizes.sum()
+        mac_p = mac_sizes / mac_sizes.sum()
+        assert not np.allclose(mem_p, mac_p)
+        # conv1 (expert 0) is relatively much bigger by MACs.
+        assert mac_p[0] > mem_p[0]
+
+    def test_mac_sizes_scale_with_bits(self, quantized_pretrained,
+                                       tiny_loaders):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val,
+            config=fast_config(size_metric="macs",
+                               input_shape=(3, 12, 12)),
+        )
+        ccq.initialize()  # all at 8 bits
+        at8 = np.asarray(ccq._layer_sizes())
+        ccq._set_bits(0, 4)
+        at4 = np.asarray(ccq._layer_sizes())
+        assert at4[0] == pytest.approx(at8[0] / 2)
+
+    def test_full_run_with_macs_metric(self, quantized_pretrained,
+                                       tiny_loaders):
+        from repro.core import LambdaSchedule
+
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val,
+            config=fast_config(
+                size_metric="macs",
+                input_shape=(3, 12, 12),
+                lambda_schedule=LambdaSchedule.constant(0.8),
+                max_steps=3,
+            ),
+        )
+        result = ccq.run()
+        assert len(result.records) == 3

@@ -1,0 +1,103 @@
+"""Recovery (collaboration) behaviour: manual vs adaptive modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.collaboration import RecoveryConfig, recover
+from repro.core.training import evaluate, make_sgd
+from repro.quantization import quantize_model, set_uniform_bits
+
+
+class TestRecoveryConfig:
+    def test_target_from_slack(self):
+        config = RecoveryConfig(slack=0.01)
+        assert config.target_accuracy(0.9) == pytest.approx(0.89)
+
+    def test_absolute_threshold_wins(self):
+        config = RecoveryConfig(threshold=0.8, slack=0.01)
+        assert config.target_accuracy(0.99) == pytest.approx(0.8)
+
+
+@pytest.fixture()
+def damaged_net(pretrained_net, tiny_loaders):
+    """A pretrained net freshly quantized to 3 bits (accuracy damaged)."""
+    net, baseline = pretrained_net
+    quantize_model(net, "pact")
+    set_uniform_bits(net, 3, 3)
+    return net, baseline
+
+
+class TestManualMode:
+    def test_runs_exactly_configured_epochs(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        config = RecoveryConfig(mode="manual", epochs=2, use_hybrid_lr=False)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert report.epochs_used == 2
+        assert report.target_accuracy is None
+        assert report.recovered  # manual mode always reports recovered
+
+    def test_zero_epochs_is_noop(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        config = RecoveryConfig(mode="manual", epochs=0, use_hybrid_lr=False)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert report.epochs_used == 0
+        assert report.start_accuracy == report.end_accuracy
+
+
+class TestAdaptiveMode:
+    def test_stops_early_when_target_met(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        # A trivially low target is met immediately -> zero epochs.
+        config = RecoveryConfig(mode="adaptive", threshold=0.0, max_epochs=5)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert report.epochs_used == 0
+        assert report.recovered
+
+    def test_improves_accuracy(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        config = RecoveryConfig(mode="adaptive", max_epochs=6, slack=0.02)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert report.end_accuracy >= report.start_accuracy - 0.05
+        assert report.epochs_used >= 1
+
+    def test_respects_max_epochs(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=1e-6)  # too small to ever recover
+        config = RecoveryConfig(mode="adaptive", max_epochs=2, threshold=1.1)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert report.epochs_used == 2
+        assert not report.recovered
+
+    def test_history_lengths_consistent(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        config = RecoveryConfig(mode="manual", epochs=3, use_hybrid_lr=True)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert len(report.accuracy_history) == report.epochs_used + 1
+        assert len(report.train_loss_history) == report.epochs_used
+        assert len(report.lr_history) == report.epochs_used
+
+    def test_hybrid_lr_scheduler_engaged(self, damaged_net, tiny_loaders):
+        net, baseline = damaged_net
+        train, val = tiny_loaders
+        opt = make_sgd(net, lr=0.02)
+        config = RecoveryConfig(mode="manual", epochs=2, use_hybrid_lr=True)
+        report = recover(net, train, val, opt, config,
+                         reference_accuracy=baseline)
+        assert len(report.lr_history) == 2

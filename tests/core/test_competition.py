@@ -1,0 +1,183 @@
+"""Exponential-weights competition: Hedge updates, sleeping experts, Eq. 7."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.competition import HedgeCompetition, LambdaSchedule
+
+
+class TestLambdaSchedule:
+    def test_linear_decay_endpoints(self):
+        sched = LambdaSchedule(start=0.8, end=0.2, decay_steps=10)
+        assert sched.value(0) == pytest.approx(0.8)
+        assert sched.value(10) == pytest.approx(0.2)
+        assert sched.value(5) == pytest.approx(0.5)
+
+    def test_clamped_after_decay(self):
+        sched = LambdaSchedule(start=0.8, end=0.2, decay_steps=10)
+        assert sched.value(100) == pytest.approx(0.2)
+
+    def test_constant(self):
+        sched = LambdaSchedule.constant(0.6)
+        assert sched.value(0) == sched.value(50) == pytest.approx(0.6)
+
+    def test_average(self):
+        assert LambdaSchedule(0.8, 0.2, 10).average == pytest.approx(0.5)
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            LambdaSchedule(start=1.5)
+
+
+class TestProbabilities:
+    def test_starts_uniform(self):
+        comp = HedgeCompetition(4)
+        p = comp.probabilities([True] * 4)
+        np.testing.assert_allclose(p, 0.25)
+
+    def test_sleeping_experts_get_zero(self):
+        comp = HedgeCompetition(4)
+        p = comp.probabilities([True, False, True, False])
+        assert p[1] == p[3] == 0.0
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_all_asleep_raises(self):
+        comp = HedgeCompetition(3)
+        with pytest.raises(RuntimeError):
+            comp.probabilities([False] * 3)
+
+    def test_wrong_mask_shape_raises(self):
+        comp = HedgeCompetition(3)
+        with pytest.raises(ValueError):
+            comp.probabilities([True, True])
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_distribution_is_simplex(self, losses):
+        comp = HedgeCompetition(len(losses), gamma=0.5)
+        for i, loss in enumerate(losses):
+            comp.observe(i, loss)
+        p = comp.probabilities([True] * len(losses))
+        assert (p >= 0).all()
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_low_loss_layer_gains_probability(self):
+        comp = HedgeCompetition(3, gamma=2.0)
+        for _ in range(5):
+            comp.observe(0, 0.1)   # cheap to quantize
+            comp.observe(1, 2.0)   # expensive
+            comp.observe(2, 2.0)
+        p = comp.probabilities([True] * 3)
+        assert p[0] > p[1] and p[0] > p[2]
+
+    def test_weights_do_not_underflow(self):
+        comp = HedgeCompetition(2, gamma=5.0, loss_scale=1.0)
+        for _ in range(500):
+            comp.observe(0, 10.0)
+            comp.observe(1, 10.0)
+        p = comp.probabilities([True, True])
+        assert np.isfinite(p).all()
+        np.testing.assert_allclose(p, 0.5)
+
+
+class TestMixing:
+    def test_lambda_one_is_pure_size_distribution(self):
+        comp = HedgeCompetition(
+            3, lambda_schedule=LambdaSchedule.constant(1.0)
+        )
+        sizes = [100.0, 300.0, 600.0]
+        p = comp.mixed_probabilities([True] * 3, sizes, step=0)
+        np.testing.assert_allclose(p, [0.1, 0.3, 0.6])
+
+    def test_lambda_zero_is_pure_learned(self):
+        comp = HedgeCompetition(
+            3, lambda_schedule=LambdaSchedule.constant(0.0)
+        )
+        comp.observe(0, 0.01)
+        learned = comp.probabilities([True] * 3)
+        mixed = comp.mixed_probabilities([True] * 3, [1.0, 2.0, 3.0], step=0)
+        np.testing.assert_allclose(mixed, learned)
+
+    def test_no_schedule_means_no_mixing(self):
+        comp = HedgeCompetition(2)
+        p = comp.mixed_probabilities([True, True], [1.0, 99.0], step=0)
+        np.testing.assert_allclose(p, 0.5)
+
+    def test_sleeping_layers_excluded_from_size_term(self):
+        comp = HedgeCompetition(
+            3, lambda_schedule=LambdaSchedule.constant(1.0)
+        )
+        p = comp.mixed_probabilities([True, False, True], [100.0, 1e9, 100.0],
+                                     step=0)
+        assert p[1] == 0.0
+        np.testing.assert_allclose(p, [0.5, 0.0, 0.5])
+
+    def test_mixed_is_simplex(self):
+        comp = HedgeCompetition(
+            4, lambda_schedule=LambdaSchedule(0.8, 0.2, 5)
+        )
+        comp.observe(2, 0.01)
+        p = comp.mixed_probabilities([True] * 4, [1, 2, 3, 4], step=2)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+
+class TestRunStep:
+    def test_winner_is_awake(self):
+        comp = HedgeCompetition(4, probes_per_step=3,
+                                rng=np.random.default_rng(0))
+        awake = [True, False, True, False]
+        result = comp.run_step(lambda m: 1.0, awake)
+        assert awake[result.winner]
+
+    def test_probes_only_awake_layers(self):
+        comp = HedgeCompetition(3, probes_per_step=10,
+                                rng=np.random.default_rng(0))
+        probed = []
+        comp.run_step(lambda m: probed.append(m) or 1.0,
+                      [True, True, False])
+        assert 2 not in probed
+        assert len(probed) == 10
+
+    def test_biased_losses_bias_the_winner(self):
+        rng = np.random.default_rng(0)
+        wins = []
+        for seed in range(30):
+            comp = HedgeCompetition(
+                3, gamma=3.0, probes_per_step=12,
+                rng=np.random.default_rng(seed),
+            )
+            result = comp.run_step(
+                lambda m: 0.1 if m == 1 else 3.0, [True] * 3
+            )
+            wins.append(result.winner)
+        assert wins.count(1) > 15  # layer 1 should win most competitions
+
+    def test_result_records_probe_losses(self):
+        comp = HedgeCompetition(2, probes_per_step=4,
+                                rng=np.random.default_rng(0))
+        result = comp.run_step(lambda m: float(m) + 0.5, [True, True])
+        for layer, loss in result.probe_losses.items():
+            assert loss == pytest.approx(layer + 0.5)
+
+    def test_lambda_recorded(self):
+        comp = HedgeCompetition(
+            2, probes_per_step=1,
+            lambda_schedule=LambdaSchedule(0.8, 0.2, 10),
+            rng=np.random.default_rng(0),
+        )
+        result = comp.run_step(lambda m: 1.0, [True, True],
+                               layer_sizes=[1.0, 1.0], step=5)
+        assert result.lambda_used == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            HedgeCompetition(0)
+        with pytest.raises(ValueError):
+            HedgeCompetition(2, gamma=0.0)
+        with pytest.raises(ValueError):
+            HedgeCompetition(2, probes_per_step=0)

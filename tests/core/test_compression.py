@@ -1,0 +1,67 @@
+"""Model-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core.compression import compression_ratio, model_size_report
+from repro.quantization import quantize_model, quantized_layers, set_uniform_bits
+
+
+def quantized_net():
+    net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+    return quantize_model(net, "dorefa")
+
+
+class TestReport:
+    def test_fp_model_has_ratio_one(self):
+        net = quantized_net()
+        assert compression_ratio(net) == pytest.approx(1.0)
+
+    def test_uniform_bits_ratio(self):
+        net = quantized_net()
+        set_uniform_bits(net, 4, 4)
+        assert compression_ratio(net) == pytest.approx(8.0)
+
+    def test_mixed_precision_ratio(self):
+        net = quantized_net()
+        layers = quantized_layers(net)
+        for _, layer in layers:
+            layer.w_bits = 8
+        layers[0][1].w_bits = 2
+        report = model_size_report(net)
+        params = {l.name: l.n_params for l in report.layers}
+        total = sum(params.values())
+        first = report.layers[0].name
+        expected_bits = params[first] * 2 + (total - params[first]) * 8
+        assert report.compression == pytest.approx(32 * total / expected_bits)
+
+    def test_include_other_lowers_ratio(self):
+        net = quantized_net()
+        set_uniform_bits(net, 2, 2)
+        with_bn = compression_ratio(net, include_other=True)
+        without = compression_ratio(net)
+        assert with_bn < without
+
+    def test_layer_rows_complete(self):
+        net = quantized_net()
+        set_uniform_bits(net, 4, 4)
+        report = model_size_report(net)
+        assert len(report.layers) == 4
+        assert set(report.by_layer()) == {n for n, _ in quantized_layers(net)}
+
+    def test_size_bytes(self):
+        net = quantized_net()
+        set_uniform_bits(net, 8, 8)
+        layer = model_size_report(net).layers[0]
+        assert layer.size_bytes == layer.size_bits / 8
+
+    def test_other_params_counts_bn_and_bias(self):
+        net = quantized_net()
+        report = model_size_report(net)
+        # SmallConvNet: 3 BN layers (2 params each of width) + fc bias.
+        expected = sum(
+            p.size for name, p in net.named_parameters()
+            if "bn" in name or name.endswith("bias")
+        )
+        assert report.other_params == expected

@@ -1,0 +1,61 @@
+"""Property tests for compression accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import models
+from repro.core.compression import model_size_report
+from repro.quantization import quantize_model, quantized_layers
+
+
+def make_net():
+    net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+    return quantize_model(net, "dorefa")
+
+
+bit_choices = st.lists(
+    st.sampled_from([None, 2, 3, 4, 6, 8]), min_size=4, max_size=4
+)
+
+
+class TestCompressionProperties:
+    @given(bit_choices)
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_matches_manual_computation(self, bits):
+        net = make_net()
+        layers = quantized_layers(net)
+        for (_, layer), b in zip(layers, bits):
+            layer.w_bits = b
+        report = model_size_report(net)
+        total_params = sum(l.weight.size for _, l in layers)
+        used = sum(
+            l.weight.size * (l.w_bits or 32) for _, l in layers
+        )
+        assert report.compression == pytest.approx(32 * total_params / used)
+
+    @given(bit_choices)
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_bounds(self, bits):
+        net = make_net()
+        for (_, layer), b in zip(quantized_layers(net), bits):
+            layer.w_bits = b
+        ratio = model_size_report(net).compression
+        assert 1.0 <= ratio <= 16.0 + 1e-9  # floor is 2 bits -> at most 16x
+
+    @given(bit_choices, bit_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_bits(self, bits_a, bits_b):
+        """Pointwise-lower precision never decreases compression."""
+        def ratio(bits):
+            net = make_net()
+            for (_, layer), b in zip(quantized_layers(net), bits):
+                layer.w_bits = b
+            return model_size_report(net).compression
+
+        lower = [
+            min(a or 32, b or 32) for a, b in zip(bits_a, bits_b)
+        ]
+        lower = [None if b == 32 else b for b in lower]
+        assert ratio(lower) >= max(ratio(bits_a), ratio(bits_b)) - 1e-9

@@ -1,0 +1,67 @@
+"""Experiment scaffolding (task builders, scales) and the CLI surface."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, TASK_NAMES, build_task
+
+
+class TestScales:
+    def test_all_scales_defined(self):
+        assert set(SCALES) == {"micro", "smoke", "bench", "paper"}
+
+    def test_scales_ordered_by_size(self):
+        assert SCALES["micro"].n_train < SCALES["smoke"].n_train
+        assert SCALES["smoke"].n_train < SCALES["bench"].n_train
+        assert SCALES["bench"].n_train < SCALES["paper"].n_train
+
+
+class TestBuildTask:
+    @pytest.mark.parametrize("name", TASK_NAMES)
+    def test_builds_and_forwards(self, name):
+        task = build_task(name, scale="smoke")
+        model = task.make_model()
+        from repro.nn.tensor import Tensor
+
+        out = model(Tensor(np.zeros((1, *task.input_shape))))
+        assert out.shape[0] == 1
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            build_task("alexnet_mnist")
+
+    def test_loaders_cover_splits(self):
+        task = build_task("resnet20_cifar10", scale="smoke")
+        train, val = task.loaders()
+        n_train = sum(len(labels) for _, labels in train)
+        assert n_train == SCALES["smoke"].n_train
+
+    def test_imagenet_task_classes(self):
+        task = build_task("resnet18_imagenet", scale="smoke")
+        assert task.splits.n_classes == SCALES["smoke"].imagenet_classes
+
+    def test_scale_object_accepted(self):
+        task = build_task("resnet20_cifar10", scale=SCALES["smoke"])
+        assert task.scale.name == "smoke"
+
+
+class TestCLI:
+    def test_policies_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "pact" in out and "dorefa" in out
+
+    def test_power_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["power", "--synth"]) == 0
+        out = capsys.readouterr().out
+        assert "fp32" in out and "int2" in out
+
+    def test_parser_rejects_unknown_task(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-ccq", "--task", "nope"])

@@ -1,0 +1,65 @@
+"""Automatic expert-grouping helpers."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core import group_by_prefix, residual_block_groups
+from repro.quantization import quantize_model, quantized_layers
+
+
+@pytest.fixture()
+def resnet():
+    net = models.resnet20(width_mult=0.25, rng=np.random.default_rng(0))
+    return quantize_model(net, "pact")
+
+
+class TestGroupByPrefix:
+    def test_depth_one_groups_stages(self, resnet):
+        groups = group_by_prefix(resnet, 1)
+        assert set(groups) == {"conv1", "layer1", "layer2", "layer3", "fc"}
+
+    def test_depth_two_groups_blocks(self, resnet):
+        groups = residual_block_groups(resnet)
+        # 9 residual blocks + stem + fc
+        assert len(groups) == 11
+        assert "layer2.0" in groups
+        # each block has 2 convs (+ shortcut at stage transitions)
+        assert len(groups["layer1.0"]) == 2
+        assert len(groups["layer2.0"]) == 3  # conv1, conv2, shortcut
+
+    def test_partition_is_complete_and_disjoint(self, resnet):
+        groups = residual_block_groups(resnet)
+        members = [m for ms in groups.values() for m in ms]
+        all_layers = [n for n, _ in quantized_layers(resnet)]
+        assert sorted(members) == sorted(all_layers)
+        assert len(members) == len(set(members))
+
+    def test_shallow_names_are_singletons(self, resnet):
+        groups = group_by_prefix(resnet, 3)
+        assert groups["conv1"] == ["conv1"]
+        assert groups["fc"] == ["fc"]
+
+    def test_invalid_depth(self, resnet):
+        with pytest.raises(ValueError):
+            group_by_prefix(resnet, 0)
+
+    def test_groups_feed_ccq(self, resnet, tiny_loaders):
+        from repro.core import BitLadder, CCQConfig, CCQQuantizer, RecoveryConfig
+
+        train, val = tiny_loaders
+        groups = group_by_prefix(resnet, 1)
+        ccq = CCQQuantizer(
+            resnet, train, val,
+            config=CCQConfig(
+                ladder=BitLadder((8, 4)),
+                probes_per_step=1, probe_batches=1,
+                recovery=RecoveryConfig(mode="manual", epochs=0,
+                                        use_hybrid_lr=False),
+                initial_recovery_epochs=0, max_steps=2,
+            ),
+            groups=groups,
+        )
+        result = ccq.run()
+        assert len(ccq.experts) == 5
+        assert len(result.records) == 2

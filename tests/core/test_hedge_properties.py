@@ -1,0 +1,90 @@
+"""Online-learning properties of the Hedge competition.
+
+These verify the theoretical behaviour the paper's competition stage
+relies on: with enough observations under stationary losses, the
+exponential-weights distribution concentrates on the best expert, and the
+regret relative to the best expert stays sublinear.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.competition import HedgeCompetition
+
+
+class TestConcentration:
+    def test_concentrates_on_best_expert(self):
+        rng = np.random.default_rng(0)
+        losses = np.array([1.0, 0.2, 0.9, 1.1])  # expert 1 is best
+        comp = HedgeCompetition(4, gamma=1.0, loss_scale=1.0,
+                                rng=np.random.default_rng(0))
+        for _ in range(200):
+            for m in range(4):
+                comp.observe(m, losses[m] + 0.05 * rng.normal())
+        p = comp.probabilities([True] * 4)
+        assert p[1] > 0.95
+
+    def test_equal_losses_stay_uniform(self):
+        comp = HedgeCompetition(5, gamma=2.0, loss_scale=1.0)
+        for _ in range(100):
+            for m in range(5):
+                comp.observe(m, 1.0)
+        p = comp.probabilities([True] * 5)
+        np.testing.assert_allclose(p, 0.2, atol=1e-12)
+
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_best_expert_never_loses_probability_mass(self, n, seed):
+        """The expert with strictly smallest loss must end with the
+        largest probability after uniform exploration."""
+        rng = np.random.default_rng(seed)
+        losses = rng.uniform(0.5, 2.0, size=n)
+        best = int(np.argmin(losses))
+        losses[best] = 0.1
+        comp = HedgeCompetition(n, gamma=1.5, loss_scale=1.0,
+                                rng=np.random.default_rng(0))
+        for _ in range(30):
+            for m in range(n):
+                comp.observe(m, float(losses[m]))
+        p = comp.probabilities([True] * n)
+        assert int(np.argmax(p)) == best
+
+
+class TestRegret:
+    def test_sublinear_regret_under_stationary_losses(self):
+        """Empirical regret of Hedge's sampled plays vs the best fixed
+        expert grows sublinearly (per-round regret shrinks)."""
+        rng = np.random.default_rng(1)
+        means = np.array([0.8, 0.3, 0.9])
+        comp = HedgeCompetition(3, gamma=1.0, loss_scale=1.0,
+                                rng=np.random.default_rng(2))
+        awake = [True] * 3
+        cumulative_play = 0.0
+        per_round = []
+        T = 400
+        for t in range(1, T + 1):
+            p = comp.probabilities(awake)
+            m = int(comp.rng.choice(3, p=p))
+            loss = float(means[m] + 0.05 * rng.normal())
+            comp.observe(m, loss)
+            cumulative_play += means[m]
+            per_round.append(cumulative_play / t - means.min())
+        early = np.mean(per_round[:50])
+        late = np.mean(per_round[-50:])
+        assert late < early  # average regret per round shrinks
+
+    def test_auto_loss_scale_invariant_to_magnitude(self):
+        """With loss_scale='auto', multiplying all losses by a constant
+        must produce the same final distribution."""
+        def run(scale):
+            comp = HedgeCompetition(3, gamma=1.0, loss_scale="auto",
+                                    rng=np.random.default_rng(0))
+            losses = [1.0, 0.2, 0.8]
+            for _ in range(50):
+                for m in range(3):
+                    comp.observe(m, losses[m] * scale)
+            return comp.probabilities([True] * 3)
+
+        np.testing.assert_allclose(run(1.0), run(1000.0), atol=1e-10)

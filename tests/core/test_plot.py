@@ -1,0 +1,46 @@
+"""ASCII plotting utilities."""
+
+from repro.utils import ascii_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(13))) == 13
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert "empty" in ascii_plot([])
+
+    def test_contains_extremes(self):
+        out = ascii_plot([0.0, 0.5, 1.0], height=5)
+        assert "1.000" in out and "0.000" in out
+
+    def test_height_rows(self):
+        out = ascii_plot([1, 2, 3], height=7)
+        # label-less: height rows + axis line
+        assert len(out.splitlines()) == 8
+
+    def test_label_included(self):
+        out = ascii_plot([1, 2], label="accuracy")
+        assert out.splitlines()[0] == "accuracy"
+
+    def test_width_resampling(self):
+        out = ascii_plot(list(range(100)), height=4, width=20)
+        body = out.splitlines()[0]
+        assert len(body) <= 8 + 2 + 20  # prefix + bar + columns
+
+    def test_one_star_per_column(self):
+        out = ascii_plot([1, 5, 3], height=6)
+        stars = sum(line.count("*") for line in out.splitlines())
+        assert stars == 3

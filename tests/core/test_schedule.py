@@ -1,0 +1,78 @@
+"""Bit-ladder invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import DEFAULT_LADDER, BitLadder
+
+
+class TestConstruction:
+    def test_default_ladder(self):
+        assert DEFAULT_LADDER.levels == (8, 6, 4, 3, 2)
+        assert DEFAULT_LADDER.start == 8
+        assert DEFAULT_LADDER.floor == 2
+
+    def test_rejects_increasing(self):
+        with pytest.raises(ValueError):
+            BitLadder((2, 4, 8))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            BitLadder((8, 4, 4, 2))
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            BitLadder((8,))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BitLadder((4, 0))
+
+    def test_from_range(self):
+        assert BitLadder.from_range(8, 2).levels == (8, 7, 6, 5, 4, 3, 2)
+
+    def test_from_range_invalid(self):
+        with pytest.raises(ValueError):
+            BitLadder.from_range(4, 4)
+
+
+class TestNavigation:
+    def test_next_level(self):
+        ladder = BitLadder((8, 4, 2))
+        assert ladder.next_level(8) == 4
+        assert ladder.next_level(4) == 2
+        assert ladder.next_level(2) is None
+
+    def test_next_level_unknown_bits(self):
+        with pytest.raises(ValueError):
+            BitLadder((8, 4, 2)).next_level(5)
+
+    def test_is_floor(self):
+        ladder = BitLadder((8, 4, 2))
+        assert ladder.is_floor(2)
+        assert not ladder.is_floor(8)
+
+    def test_levels_between(self):
+        assert DEFAULT_LADDER.levels_between(6, 3) == (6, 4, 3)
+
+    def test_levels_between_reversed_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LADDER.levels_between(3, 6)
+
+    def test_iteration_and_len(self):
+        ladder = BitLadder((8, 4, 2))
+        assert list(ladder) == [8, 4, 2]
+        assert len(ladder) == 3
+
+    @given(st.lists(st.integers(1, 32), min_size=2, max_size=8, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_walking_next_level_reaches_floor(self, levels):
+        levels = tuple(sorted(levels, reverse=True))
+        ladder = BitLadder(levels)
+        bits = ladder.start
+        seen = [bits]
+        while not ladder.is_floor(bits):
+            bits = ladder.next_level(bits)
+            seen.append(bits)
+        assert tuple(seen) == levels

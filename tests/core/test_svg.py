@@ -1,0 +1,103 @@
+"""SVG chart writer: structure and scaling checks."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.utils.svg import Series, bar_chart, line_chart
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [], [])
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart([Series("s", [0, 1, 2], [1.0, 3.0, 2.0])],
+                         title="t", x_label="x", y_label="y")
+        root = parse(svg)
+        assert root.tag == f"{NS}svg"
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart([
+            Series("a", [0, 1], [0, 1]),
+            Series("b", [0, 1], [1, 0]),
+        ])
+        root = parse(svg)
+        polylines = root.findall(f"{NS}polyline")
+        assert len(polylines) == 2
+
+    def test_title_and_labels_present(self):
+        svg = line_chart([Series("s", [0, 1], [0, 1])],
+                         title="My Title", x_label="epochs", y_label="acc")
+        assert "My Title" in svg
+        assert "epochs" in svg and "acc" in svg
+
+    def test_points_inside_viewbox(self):
+        svg = line_chart([Series("s", [0, 100], [-5.0, 5.0])],
+                         width=500, height=300)
+        root = parse(svg)
+        for circle in root.findall(f"{NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= 500
+            assert 0 <= float(circle.get("cy")) <= 300
+
+    def test_escapes_markup_in_labels(self):
+        svg = line_chart([Series("a<b", [0, 1], [0, 1])], title="x & y")
+        parse(svg)  # must stay well-formed
+        assert "a&lt;b" in svg and "x &amp; y" in svg
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_constant_series_renders(self):
+        svg = line_chart([Series("flat", [0, 1, 2], [5.0, 5.0, 5.0])])
+        parse(svg)
+
+
+class TestBarChart:
+    def test_bar_count(self):
+        svg = bar_chart(
+            ["g1", "g2"],
+            [("a", [1.0, 2.0]), ("b", [3.0, 4.0])],
+        )
+        root = parse(svg)
+        rects = root.findall(f"{NS}rect")
+        # background + frame + 4 bars + 2 legend swatches
+        assert len(rects) == 2 + 4 + 2
+
+    def test_log_scale_orders_heights(self):
+        svg = bar_chart(
+            ["g"], [("small", [0.01]), ("big", [100.0])], log_scale=True
+        )
+        root = parse(svg)
+        bars = [
+            r for r in root.findall(f"{NS}rect")
+            if r.find(f"{NS}title") is not None
+        ]
+        heights = [float(b.get("height")) for b in bars]
+        assert heights[1] > heights[0]
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bar_chart(["g"], [("a", [0.0])], log_scale=True)
+
+    def test_group_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["g1", "g2"], [("a", [1.0])])
+
+    def test_values_in_tooltips(self):
+        svg = bar_chart(["g"], [("a", [42.0])])
+        assert "42" in svg

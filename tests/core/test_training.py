@@ -1,0 +1,117 @@
+"""Shared training/eval loop behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core.training import accuracy_from_logits, evaluate, make_sgd, train_epoch
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.quantization import quantize_model, set_uniform_bits
+
+
+class TestAccuracy:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        targets = np.array([0, 1, 1])
+        assert accuracy_from_logits(logits, targets) == pytest.approx(2 / 3)
+
+
+class TestEvaluate:
+    def test_restores_training_mode(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        net.train()
+        evaluate(net, val)
+        assert net.training
+
+    def test_eval_on_eval_model_stays_eval(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        net.eval()
+        evaluate(net, val)
+        assert not net.training
+
+    def test_max_batches_limits_samples(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        partial = evaluate(net, val, max_batches=1)
+        full = evaluate(net, val)
+        assert partial.n_samples < full.n_samples
+
+    def test_accuracy_in_unit_interval(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        result = evaluate(net, val)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.loss > 0.0
+
+    def test_deterministic(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        a = evaluate(net, val)
+        b = evaluate(net, val)
+        assert a.accuracy == b.accuracy and a.loss == b.loss
+
+    def test_empty_loader_raises(self, pretrained_net):
+        net, _ = pretrained_net
+        empty = DataLoader(
+            ArrayDataset(np.zeros((0, 3, 12, 12)), np.zeros(0)), batch_size=4
+        )
+        with pytest.raises(RuntimeError):
+            evaluate(net, empty)
+
+
+class TestTrainEpoch:
+    def test_loss_decreases_over_epochs(self, tiny_loaders):
+        train, _ = tiny_loaders
+        net = models.SmallConvNet(width=8, rng=np.random.default_rng(5))
+        opt = make_sgd(net, lr=0.05)
+        first = train_epoch(net, train, opt)
+        for _ in range(3):
+            last = train_epoch(net, train, opt)
+        assert last < first
+
+    def test_max_batches(self, tiny_loaders):
+        train, _ = tiny_loaders
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(5))
+        opt = make_sgd(net, lr=0.01)
+        loss = train_epoch(net, train, opt, max_batches=1)
+        assert np.isfinite(loss)
+
+    def test_pact_regularization_included(self, tiny_loaders):
+        # PACT alpha must move during training (it only can via the reg +
+        # clip gradients added in train_epoch).
+        train, _ = tiny_loaders
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(5))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        from repro.quantization import quantized_layers
+
+        alphas_before = [
+            float(l.act_quantizer.alpha.data) for _, l in quantized_layers(net)
+        ]
+        opt = make_sgd(net, lr=0.05)
+        train_epoch(net, train, opt)
+        alphas_after = [
+            float(l.act_quantizer.alpha.data) for _, l in quantized_layers(net)
+        ]
+        assert alphas_before != alphas_after
+
+
+class TestMakeSGD:
+    def test_includes_quantizer_params_once(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        opt = make_sgd(net, lr=0.01)
+        ids = [id(p) for p in opt.params]
+        assert len(ids) == len(set(ids))
+        from repro.quantization import collect_quantizer_parameters
+
+        for alpha in collect_quantizer_parameters(net):
+            assert id(alpha) in ids
+
+    def test_exclude_quantizer_params(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        opt = make_sgd(net, lr=0.01, include_quantizer_params=False)
+        assert len(opt.params) == len(list(net.parameters()))

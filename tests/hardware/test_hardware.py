@@ -1,0 +1,151 @@
+"""MAC energy model, shape-traced MAC counts, network power rollup."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.hardware import (
+    NODE_32NM,
+    NODE_32NM_SYNTH,
+    NODE_45NM,
+    mac_energy_pj,
+    network_power,
+    power_of_config,
+    trace_layer_macs,
+)
+from repro.quantization import quantize_model, quantized_layers, set_uniform_bits
+
+
+class TestMacEnergy:
+    def test_energy_monotone_in_bits(self):
+        energies = [mac_energy_pj(b, b) for b in (2, 3, 4, 8, 16)]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_fp32_most_expensive(self):
+        assert mac_energy_pj(None, None) > mac_energy_pj(16, 16)
+
+    def test_32_bit_ints_treated_as_fp(self):
+        assert mac_energy_pj(32, 32) == mac_energy_pj(None, None)
+
+    def test_int8_anchor(self):
+        # Published int8 MAC at 45nm is roughly 0.2-0.3 pJ.
+        assert 0.15 < mac_energy_pj(8, 8, node=NODE_45NM) < 0.35
+
+    def test_fp_to_int8_ratio(self):
+        # Published fp32/int8 MAC energy ratio is ~20x (datapath anchor).
+        ratio = mac_energy_pj(None, None, node=NODE_45NM) / mac_energy_pj(
+            8, 8, node=NODE_45NM
+        )
+        assert 10 < ratio < 30
+
+    def test_32nm_cheaper_than_45nm(self):
+        assert mac_energy_pj(8, 8, node=NODE_32NM) < mac_energy_pj(
+            8, 8, node=NODE_45NM
+        )
+
+    def test_synth_node_fp_premium(self):
+        assert NODE_32NM_SYNTH.fp32_mac > NODE_32NM.fp32_mac
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            mac_energy_pj(0, 4)
+
+    def test_asymmetric_operands(self):
+        assert mac_energy_pj(2, 8) == mac_energy_pj(8, 2)
+
+
+class TestMacTracing:
+    def test_resnet20_mac_count(self):
+        # Published ResNet-20 @ 32x32 is ~40.6M MACs.
+        net = models.resnet20(rng=np.random.default_rng(0))
+        total = sum(e.macs for e in trace_layer_macs(net, (3, 32, 32)))
+        assert 38e6 < total < 43e6
+
+    def test_layer_count(self):
+        net = models.resnet20(width_mult=0.25, rng=np.random.default_rng(0))
+        assert len(trace_layer_macs(net, (3, 16, 16))) == 22
+
+    def test_works_on_quantized_model(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        entries = trace_layer_macs(net, (3, 12, 12))
+        assert all(e.w_bits == 4 for e in entries)
+
+    def test_forward_unaffected_after_tracing(self, rng):
+        from repro.nn.tensor import Tensor
+
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(1, 3, 12, 12)))
+        before = net(x).data.copy()
+        trace_layer_macs(net, (3, 12, 12))
+        np.testing.assert_allclose(net(x).data, before)
+
+    def test_linear_macs(self):
+        net = models.MLP(12, [6], 4, rng=np.random.default_rng(0))
+        entries = trace_layer_macs(net, (3, 2, 2))
+        assert [e.macs for e in entries] == [12 * 6, 6 * 4]
+
+    def test_stride_reduces_macs(self):
+        from repro import nn
+
+        a = nn.Sequential(nn.Conv2d(2, 2, 3, stride=1, padding=1))
+        b = nn.Sequential(nn.Conv2d(2, 2, 3, stride=2, padding=1))
+        macs_a = trace_layer_macs(a, (2, 8, 8))[0].macs
+        macs_b = trace_layer_macs(b, (2, 8, 8))[0].macs
+        assert macs_b == macs_a // 4
+
+
+class TestNetworkPower:
+    @pytest.fixture()
+    def quantized_resnet(self):
+        net = models.resnet20(width_mult=0.5, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        return net
+
+    def test_power_scales_with_fps(self, quantized_resnet):
+        set_uniform_bits(quantized_resnet, 4, 4)
+        p30 = network_power(quantized_resnet, (3, 16, 16), fps=30).total_watts
+        p60 = network_power(quantized_resnet, (3, 16, 16), fps=60).total_watts
+        assert p60 == pytest.approx(2 * p30)
+
+    def test_quantized_cheaper_than_fp(self, quantized_resnet):
+        fp = network_power(quantized_resnet, (3, 16, 16)).total_watts
+        set_uniform_bits(quantized_resnet, 2, 2)
+        quant = network_power(quantized_resnet, (3, 16, 16)).total_watts
+        assert quant < fp / 10
+
+    def test_power_of_config_validates_length(self, quantized_resnet):
+        with pytest.raises(ValueError):
+            power_of_config(quantized_resnet, (3, 16, 16), [(4, 4)])
+
+    def test_fig5_ordering_fully_vs_partially_quantized(self, quantized_resnet):
+        """The paper's headline: fully quantized < partially quantized."""
+        n = len(trace_layer_macs(quantized_resnet, (3, 16, 16)))
+        partial = [(None, None)] + [(2, 2)] * (n - 2) + [(None, None)]
+        full_mp = [(6, 6)] + [(2, 2)] * (n - 2) + [(2, 2)]
+        p_partial = power_of_config(
+            quantized_resnet, (3, 16, 16), partial, node=NODE_32NM_SYNTH
+        ).total_watts
+        p_full = power_of_config(
+            quantized_resnet, (3, 16, 16), full_mp, node=NODE_32NM_SYNTH
+        ).total_watts
+        assert p_full < p_partial
+
+    def test_edge_to_middle_ratio_in_paper_band(self):
+        """fp edges draw 4-56x the whole quantized middle (ResNet20)."""
+        net = models.resnet20(rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        n = len(trace_layer_macs(net, (3, 32, 32)))
+        partial = [(None, None)] + [(2, 2)] * (n - 2) + [(None, None)]
+        report = power_of_config(net, (3, 32, 32), partial,
+                                 node=NODE_32NM_SYNTH)
+        assert 4.0 <= report.edge_to_middle_ratio <= 56.0
+
+    def test_report_breakdown_sums(self, quantized_resnet):
+        set_uniform_bits(quantized_resnet, 4, 4)
+        report = network_power(quantized_resnet, (3, 16, 16))
+        assert report.edge_watts + report.middle_watts == pytest.approx(
+            report.total_watts
+        )
+        assert len(report.by_layer()) == len(report.layers)

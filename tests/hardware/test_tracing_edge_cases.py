@@ -1,0 +1,55 @@
+"""Shape tracing through non-trivial topologies (maxpool stems, MLPs)."""
+
+import numpy as np
+
+from repro import models
+from repro.hardware import trace_layer_macs
+from repro.nn.summary import summarize
+
+
+class TestFullStemTracing:
+    def test_resnet18_with_maxpool_stem(self):
+        net = models.resnet18(
+            num_classes=10, width_mult=0.125, small_input=False,
+            rng=np.random.default_rng(0),
+        )
+        entries = trace_layer_macs(net, (3, 64, 64))
+        # stem + 16 block convs + 3 projections + fc = 21
+        assert len(entries) == 21
+        # The stem conv sees the full 64x64 input at stride 2.
+        stem = entries[0]
+        assert stem.name == "conv1"
+        expected = 32 * 32 * 7 * 7 * 3 * net.conv1.out_channels
+        assert stem.macs == expected
+
+    def test_small_input_stem_has_more_spatial_macs_per_channel(self):
+        full = models.resnet18(num_classes=10, width_mult=0.125,
+                               small_input=False,
+                               rng=np.random.default_rng(0))
+        small = models.resnet18(num_classes=10, width_mult=0.125,
+                                small_input=True,
+                                rng=np.random.default_rng(0))
+        # Same image: the small-input stem (3x3 stride 1) keeps full
+        # resolution into layer1, the 7x7/2 + maxpool stem does not.
+        full_l1 = trace_layer_macs(full, (3, 32, 32))[1]
+        small_l1 = trace_layer_macs(small, (3, 32, 32))[1]
+        assert small_l1.macs > full_l1.macs
+
+    def test_bottleneck_macs_consistent_with_summary(self):
+        net = models.resnet50(
+            num_classes=10, width_mult=0.0625, small_input=True,
+            rng=np.random.default_rng(0),
+        )
+        traced = {e.name: e.macs for e in trace_layer_macs(net, (3, 16, 16))}
+        summarized = {
+            r.name: r.macs for r in summarize(net, (3, 16, 16))
+        }
+        assert traced == summarized
+
+    def test_lenet_with_pools(self):
+        net = models.LeNet(rng=np.random.default_rng(0))
+        entries = trace_layer_macs(net, (3, 32, 32))
+        names = [e.name for e in entries]
+        assert names == ["conv1", "conv2", "fc1", "fc2", "fc3"]
+        # conv2 runs on the pooled 14x14 map -> 10x10 output.
+        assert entries[1].macs == 10 * 10 * 5 * 5 * 6 * 16

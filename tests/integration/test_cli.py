@@ -1,0 +1,43 @@
+"""CLI end-to-end at micro scale (seconds, exercises every code path)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCCQ:
+    def test_full_pipeline_micro(self, capsys, tmp_path):
+        out_file = tmp_path / "summary.json"
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--policy", "pact",
+            "--target-compression", "6.0",
+            "--max-steps", "4",
+            "--probes", "2",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "baseline accuracy" in printed
+        assert "compression" in printed
+        payload = json.loads(out_file.read_text())
+        assert payload["task"] == "resnet20_cifar10"
+        assert payload["compression"] > 1.0
+        assert set(payload["bit_config"])  # non-empty
+
+    def test_block_granularity_flag(self, capsys):
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--max-steps", "2",
+            "--probes", "1",
+            "--block-granularity",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "block granularity" in printed

@@ -1,0 +1,148 @@
+"""Cross-module integration: the full paper pipeline on a tiny scale.
+
+These tests exercise the exact composition the benchmarks use:
+pretrain -> quantize -> CCQ/one-shot -> compression -> power, asserting
+the paper's qualitative claims hold end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.baselines import (
+    OneShotConfig,
+    edge_aware_config,
+    one_shot_quantize,
+)
+from repro.core import (
+    BitLadder,
+    CCQConfig,
+    CCQQuantizer,
+    LambdaSchedule,
+    RecoveryConfig,
+    evaluate,
+)
+from repro.hardware import NODE_32NM_SYNTH, power_of_config, trace_layer_macs
+from repro.quantization import get_bit_config, quantize_model, quantized_layers
+
+
+def ccq_config(**overrides):
+    defaults = dict(
+        ladder=BitLadder((8, 4, 2)),
+        probes_per_step=4,
+        probe_batches=1,
+        lambda_schedule=LambdaSchedule(start=0.7, end=0.2, decay_steps=8),
+        recovery=RecoveryConfig(mode="adaptive", max_epochs=3, slack=0.02),
+        lr=0.02,
+        initial_recovery_epochs=1,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return CCQConfig(**defaults)
+
+
+class TestCCQPipeline:
+    def test_ccq_compresses_while_retaining_accuracy(
+        self, pretrained_net, tiny_loaders
+    ):
+        net, baseline = pretrained_net
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val,
+            config=ccq_config(target_compression=6.0),
+            policy="pact",
+        )
+        result = ccq.run()
+        assert result.compression >= 6.0
+        # Accuracy within a loose band of the float baseline.
+        assert result.final_eval.accuracy >= baseline - 0.15
+
+    def test_gradual_beats_or_matches_oneshot_at_same_config(
+        self, pretrained_state, tiny_loaders
+    ):
+        """The Table I claim on a tiny scale (single seed, loose margin)."""
+        state, baseline = pretrained_state
+        train, val = tiny_loaders
+
+        # One-shot to fp-2b-fp.
+        net_os = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+        net_os.load_state_dict(state)
+        quantize_model(net_os, "pact")
+        target = edge_aware_config(net_os, middle_bits=2)
+        oneshot = one_shot_quantize(
+            net_os, train, val, target,
+            config=OneShotConfig(epochs=4, lr=0.02),
+        )
+
+        # CCQ forced to the same configuration.
+        net_ccq = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+        net_ccq.load_state_dict(state)
+        quantize_model(net_ccq, "pact")
+        names = [n for n, _ in quantized_layers(net_ccq)]
+        target_bits = {names[0]: None, names[-1]: None}
+        for mid in names[1:-1]:
+            target_bits[mid] = 2
+        ccq = CCQQuantizer(
+            net_ccq, train, val, config=ccq_config(),
+            target_config=target_bits,
+        )
+        gradual = ccq.run()
+
+        # Identical final bit configuration...
+        assert {k: v[0] for k, v in get_bit_config(net_ccq).items()} == {
+            k: v[0] for k, v in target.items()
+        }
+        # ...and the gradual path is not worse (small slack for noise).
+        assert gradual.final_eval.accuracy >= oneshot.final.accuracy - 0.05
+
+    def test_ccq_then_power_pipeline(self, pretrained_net, tiny_loaders):
+        net, _ = pretrained_net
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val, config=ccq_config(max_steps=4), policy="pact"
+        )
+        ccq.run()
+        report = power_of_config(
+            net,
+            (3, 12, 12),
+            [(l.w_bits, l.a_bits) for _, l in quantized_layers(net)],
+            node=NODE_32NM_SYNTH,
+        )
+        fp_report = power_of_config(
+            net, (3, 12, 12),
+            [(None, None)] * len(quantized_layers(net)),
+            node=NODE_32NM_SYNTH,
+        )
+        assert report.total_watts < fp_report.total_watts
+
+    def test_quantizer_state_survives_snapshot_roundtrip(
+        self, pretrained_net, tiny_loaders
+    ):
+        net, _ = pretrained_net
+        train, val = tiny_loaders
+        quantize_model(net, "pact")
+        from repro.quantization import set_uniform_bits
+
+        set_uniform_bits(net, 4, 4)
+        state = net.state_dict()
+        before = evaluate(net, val).accuracy
+        for p in net.parameters():
+            p.data += 0.3
+        net.load_state_dict(state)
+        after = evaluate(net, val).accuracy
+        assert after == pytest.approx(before)
+
+    def test_eval_determinism_across_probe_cycles(
+        self, pretrained_net, tiny_loaders
+    ):
+        """Probing must not leave residue: same eval before and after."""
+        net, _ = pretrained_net
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(net, train, val, config=ccq_config(), policy="pact")
+        ccq.initialize()
+        before = evaluate(net, val).accuracy
+        for i in range(len(ccq.layers)):
+            if ccq._is_awake(i):
+                ccq._probe_loss(i)
+        after = evaluate(net, val).accuracy
+        assert after == pytest.approx(before)

@@ -1,0 +1,103 @@
+"""Integration: calibration, export, integer inference and task caching."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core import evaluate
+from repro.experiments import build_task
+from repro.nn.tensor import Tensor
+from repro.quantization import (
+    calibrate_activations,
+    pack_model,
+    quantize_model,
+    quantized_layers,
+    set_uniform_bits,
+    unpack_into,
+)
+
+
+class TestStaticPipeline:
+    def test_calibrated_static_model_close_to_qat_at_8bit(
+        self, pretrained_net, tiny_loaders
+    ):
+        """8-bit static calibration must be nearly free, like the paper's
+        related-work static methods at high precision."""
+        net, baseline = pretrained_net
+        train, val = tiny_loaders
+        float_acc = evaluate(net, val).accuracy
+        quantize_model(net, "pact_sawb")
+        set_uniform_bits(net, 8, None)
+        calibrate_activations(net, train, bits=8, method="kl", max_batches=2)
+        static_acc = evaluate(net, val).accuracy
+        assert static_acc >= float_acc - 0.05
+
+    def test_low_bit_static_worse_than_high_bit(self, pretrained_net,
+                                                tiny_loaders):
+        net, _ = pretrained_net
+        train, val = tiny_loaders
+        quantize_model(net, "pact_sawb")
+        set_uniform_bits(net, 8, None)
+        calibrate_activations(net, train, bits=8, method="aciq",
+                              max_batches=2)
+        acc8 = evaluate(net, val).accuracy
+        set_uniform_bits(net, 2, None)
+        calibrate_activations(net, train, bits=2, method="aciq",
+                              max_batches=2)
+        acc2 = evaluate(net, val).accuracy
+        assert acc2 <= acc8 + 0.02
+
+
+class TestDeploymentPipeline:
+    def test_pack_unpack_preserves_accuracy(self, pretrained_net,
+                                            tiny_loaders):
+        net, _ = pretrained_net
+        _, val = tiny_loaders
+        quantize_model(net, "pact_sawb")
+        set_uniform_bits(net, 4, None)
+        before = evaluate(net, val).accuracy
+        packed = pack_model(net)
+        # Simulate shipping: unpack into a fresh network.
+        fresh = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+        quantize_model(fresh, "pact_sawb")
+        # Copy the non-weight state (BN stats, biases) the packed payload
+        # does not carry.
+        fresh.load_state_dict(net.state_dict())
+        unpack_into(fresh, packed)
+        # The deployed weights ARE the quantized values; evaluate them
+        # directly (re-quantizing would re-derive SAWB's clip from the
+        # already-quantized statistics, which is not exactly idempotent).
+        set_uniform_bits(fresh, None, None)
+        after = evaluate(fresh, val).accuracy
+        assert after == pytest.approx(before, abs=1e-9)
+
+    def test_realized_compression_tracks_accounting(self, pretrained_net):
+        from repro.core import model_size_report
+
+        net, _ = pretrained_net
+        quantize_model(net, "pact_sawb")
+        set_uniform_bits(net, 2, 2)
+        accounting = model_size_report(net).compression
+        realized = pack_model(net).realized_compression
+        # Codebook overhead costs a little; same order of magnitude.
+        assert realized == pytest.approx(accounting, rel=0.35)
+
+
+class TestTaskCaching:
+    def test_pretrained_model_cached(self):
+        import repro.experiments as ex
+
+        small = ex.Scale(
+            name="tiny", n_train=64, n_val=32, n_test=32,
+            cifar_image=8, imagenet_image=8, imagenet_classes=10,
+            width_r20=0.25, width_r18=0.125, width_r50=0.0625,
+            pretrain_epochs=1, finetune_epochs=1,
+        )
+        task = ex.build_task("resnet20_cifar10", scale=small)
+        model1, baseline1 = task.pretrained_model()
+        # Mutating the returned model must not poison the cache.
+        for p in model1.parameters():
+            p.data[...] = 0.0
+        model2, baseline2 = task.pretrained_model()
+        assert baseline1 == baseline2
+        assert any(np.abs(p.data).sum() > 0 for p in model2.parameters())

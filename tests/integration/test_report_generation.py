@@ -1,0 +1,98 @@
+"""Report and figure generation from benchmark result JSONs."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, _BENCH_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def fake_results(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "table1.json").write_text(json.dumps({
+        "rows": [
+            {"policy": "pact", "baseline": 0.9, "oneshot": 0.8,
+             "gradual": 0.88, "steps": 10},
+        ]
+    }))
+    (results / "fig1.json").write_text(json.dumps({
+        "rows": [
+            {"lambda": 0.0, "accuracy": 0.9, "baseline": 0.9,
+             "compression": 6.0, "steps": 20},
+            {"lambda": 1.0, "accuracy": 0.85, "baseline": 0.9,
+             "compression": 9.0, "steps": 20},
+        ]
+    }))
+    (results / "fig5.json").write_text(json.dumps({
+        "rows": [
+            {
+                "network": "Net",
+                "unquantized": {"total_mw": 10.0, "edge_mw": 1, "middle_mw": 9,
+                                "edge_to_middle": 0.1},
+                "fp-4b-fp": {"total_mw": 1.0, "edge_mw": 0.9, "middle_mw": 0.1,
+                             "edge_to_middle": 9.0},
+                "fp-2b-fp": {"total_mw": 0.9, "edge_mw": 0.85,
+                             "middle_mw": 0.05, "edge_to_middle": 17.0},
+                "fully-quantized": {"total_mw": 0.1, "edge_mw": 0.01,
+                                    "middle_mw": 0.09, "edge_to_middle": 0.1},
+            }
+        ]
+    }))
+    return results
+
+
+class TestExperimentsReport:
+    def test_generates_measured_sections(self, fake_results, tmp_path):
+        mod = _load_module("make_experiments_report")
+        mod.RESULTS = fake_results
+        experiments = tmp_path / "EXPERIMENTS.md"
+        experiments.write_text("# header\n\n<!-- measured-results -->\n")
+        mod.EXPERIMENTS = experiments
+        assert mod.main() == 0
+        text = experiments.read_text()
+        assert "# header" in text               # preserved
+        assert "Table I (measured)" in text
+        assert "88.00" in text                   # gradual accuracy
+        assert "_not yet run_" in text           # missing sections flagged
+
+    def test_marker_appended_when_missing(self, fake_results, tmp_path):
+        mod = _load_module("make_experiments_report")
+        mod.RESULTS = fake_results
+        experiments = tmp_path / "E.md"
+        experiments.write_text("# no marker here\n")
+        mod.EXPERIMENTS = experiments
+        mod.main()
+        assert "<!-- measured-results -->" in experiments.read_text()
+
+
+class TestFigureGeneration:
+    def test_writes_available_figures(self, fake_results, tmp_path):
+        mod = _load_module("make_figures")
+        mod.RESULTS = fake_results
+        mod.FIGURES = tmp_path / "figures"
+        assert mod.main() == 0
+        written = {p.name for p in mod.FIGURES.glob("*.svg")}
+        assert "fig1_lambda.svg" in written
+        assert "fig5_power.svg" in written
+        # fig2/3/4 had no results and are skipped without error.
+        assert "fig2_curve.svg" not in written
+
+    def test_no_results_returns_error(self, tmp_path):
+        mod = _load_module("make_figures")
+        mod.RESULTS = tmp_path / "empty"
+        mod.FIGURES = tmp_path / "figures"
+        assert mod.main() == 1

@@ -1,0 +1,48 @@
+"""Small reference networks."""
+
+import numpy as np
+
+from repro import models
+from repro.nn.tensor import Tensor
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        net = models.MLP(12, [16, 8], 4, rng=rng())
+        out = net(Tensor(np.zeros((5, 3, 2, 2))))
+        assert out.shape == (5, 4)
+
+    def test_hidden_layer_count(self):
+        net = models.MLP(4, [8, 8, 8], 2, rng=rng())
+        linears = [
+            m for _, m in net.named_modules()
+            if m.__class__.__name__ == "Linear"
+        ]
+        assert len(linears) == 4
+
+
+class TestSmallConvNet:
+    def test_forward_shape(self):
+        net = models.SmallConvNet(width=8, rng=rng())
+        out = net(Tensor(np.zeros((3, 3, 12, 12))))
+        assert out.shape == (3, 10)
+
+    def test_layer_size_diversity(self):
+        net = models.SmallConvNet(width=8, rng=rng())
+        sizes = {
+            name: m.weight.size for name, m in net.named_modules()
+            if hasattr(m, "weight") and m.weight is not None
+            and m.__class__.__name__ in ("Conv2d", "Linear")
+        }
+        assert len(set(sizes.values())) >= 3  # genuinely different layers
+
+
+class TestLeNet:
+    def test_forward_shape_32px(self):
+        net = models.LeNet(rng=rng())
+        out = net(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)

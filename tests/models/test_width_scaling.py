@@ -1,0 +1,54 @@
+"""Width scaling and the paper's scaled-substitute assumptions."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn.tensor import Tensor
+
+
+class TestWidthMult:
+    @pytest.mark.parametrize("mult", [0.25, 0.5, 1.0])
+    def test_cifar_resnet_forward_at_all_widths(self, mult):
+        net = models.resnet20(width_mult=mult, rng=np.random.default_rng(0))
+        out = net(Tensor(np.zeros((1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_channels_never_below_floor(self):
+        net = models.resnet50(
+            num_classes=10, width_mult=0.01, small_input=True,
+            rng=np.random.default_rng(0),
+        )
+        convs = [
+            m for _, m in net.named_modules()
+            if m.__class__.__name__ == "Conv2d"
+        ]
+        assert all(c.out_channels >= 4 for c in convs)
+
+    def test_relative_layer_size_spectrum_preserved(self):
+        """The λ knob relies on the layer-size skew; width scaling must
+        not flatten it."""
+        def skew(mult):
+            net = models.resnet18(
+                width_mult=mult, small_input=True,
+                rng=np.random.default_rng(0),
+            )
+            sizes = sorted(
+                m.weight.size for _, m in net.named_modules()
+                if m.__class__.__name__ == "Conv2d"
+            )
+            return sizes[-1] / sizes[0]
+
+        assert skew(0.25) > 20
+        assert skew(1.0) > 20
+
+    def test_last_stage_dominates_storage(self):
+        """In ResNets most parameters live in the last stage — the skew
+        the memory-aware competition exploits."""
+        net = models.resnet20(width_mult=0.5, rng=np.random.default_rng(0))
+        stage_params = {}
+        for name, p in net.named_parameters():
+            stage = name.split(".")[0]
+            stage_params[stage] = stage_params.get(stage, 0) + p.size
+        assert stage_params["layer3"] > stage_params["layer1"]
+        assert stage_params["layer3"] > stage_params["layer2"]

@@ -1,0 +1,179 @@
+"""Autograd engine: tape mechanics, no_grad, graph edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import no_grad
+from repro.nn.autograd import Context, Function, is_grad_enabled
+from repro.nn.tensor import Tensor
+
+
+class TestGradMode:
+    def test_no_grad_disables_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._grad_fn is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestGraph:
+    def test_output_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_no_grad_inputs_no_graph(self):
+        a = Tensor([1.0])
+        out = a * 2
+        assert out._grad_fn is None
+
+    def test_deep_chain_no_recursion_error(self):
+        # The iterative topo sort must handle graphs deeper than the
+        # Python recursion limit.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = x * 5
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_disconnected_leaf_gets_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert y.grad is None
+
+    def test_backward_through_detach_stops(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * 2).detach()
+        z = Tensor(y.data, requires_grad=True)
+        (z * 5).sum().backward()
+        assert x.grad is None
+
+
+class TestCustomFunction:
+    def test_custom_function_roundtrip(self):
+        class Square(Function):
+            @staticmethod
+            def forward(ctx: Context, a):
+                ctx.save(a)
+                return a * a
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                (a,) = ctx.saved
+                return (2 * a * grad,)
+
+        x = Tensor([3.0], requires_grad=True)
+        Square.apply(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_wrong_grad_count_raises(self):
+        class Bad(Function):
+            @staticmethod
+            def forward(ctx: Context, a, b):
+                return a + b
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return (grad,)  # should be two
+
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        out = Bad.apply(x, y)
+        with pytest.raises(RuntimeError, match="returned 1 grads"):
+            out.sum().backward()
+
+    def test_wrong_grad_shape_raises(self):
+        class BadShape(Function):
+            @staticmethod
+            def forward(ctx: Context, a):
+                return a.copy()
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return (np.zeros(99),)
+
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError, match="shape"):
+            BadShape.apply(x).sum().backward()
+
+    def test_none_grad_skipped(self):
+        class HalfGrad(Function):
+            @staticmethod
+            def forward(ctx: Context, a, b):
+                return a + b
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return grad, None
+
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        HalfGrad.apply(x, y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+        assert y.grad is None
+
+    def test_non_tensor_kwargs_passed_through(self):
+        class Scale(Function):
+            @staticmethod
+            def forward(ctx: Context, a, factor):
+                ctx.save(factor)
+                return a * factor
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                (factor,) = ctx.saved
+                return (grad * factor,)
+
+        x = Tensor([2.0], requires_grad=True)
+        out = Scale.apply(x, factor=4.0)
+        np.testing.assert_allclose(out.data, [8.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_needs_input_grad_flags(self):
+        seen = {}
+
+        class Probe(Function):
+            @staticmethod
+            def forward(ctx: Context, a, b):
+                seen["flags"] = ctx.needs_input_grad
+                return a + b
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return grad, grad
+
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0])
+        Probe.apply(x, y)
+        assert seen["flags"] == (True, False)

@@ -1,0 +1,75 @@
+"""Numerical-gradient verification of BatchNorm2d (full backward path).
+
+BatchNorm's backward flows through the batch mean *and* variance, which
+is easy to get subtly wrong; these tests verify it against central
+differences for inputs, gamma and beta.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+from .test_tensor import numerical_grad
+
+
+@pytest.fixture()
+def bn_setup(rng):
+    bn = nn.BatchNorm2d(3)
+    bn.weight.data[...] = rng.normal(size=3) + 1.0
+    bn.bias.data[...] = rng.normal(size=3)
+    x = Tensor(rng.normal(loc=1.0, scale=2.0, size=(4, 3, 5, 5)),
+               requires_grad=True)
+    return bn, x
+
+
+class TestBatchNormGradients:
+    def test_input_gradient(self, bn_setup):
+        bn, x = bn_setup
+        running = (bn.running_mean.copy(), bn.running_var.copy())
+
+        def loss():
+            # Freeze running-stat side effects for clean differencing.
+            bn.running_mean[...] = running[0]
+            bn.running_var[...] = running[1]
+            return (bn(x) ** 2).sum().item()
+
+        (bn(x) ** 2).sum().backward()
+        num = numerical_grad(loss, x.data[:1, :1])
+        np.testing.assert_allclose(x.grad[:1, :1], num, atol=1e-5)
+
+    def test_affine_gradients(self, bn_setup):
+        bn, x = bn_setup
+        running = (bn.running_mean.copy(), bn.running_var.copy())
+
+        def loss():
+            bn.running_mean[...] = running[0]
+            bn.running_var[...] = running[1]
+            return (bn(x) ** 2).sum().item()
+
+        (bn(x) ** 2).sum().backward()
+        for p in (bn.weight, bn.bias):
+            num = numerical_grad(loss, p.data)
+            np.testing.assert_allclose(p.grad, num, atol=1e-5)
+
+    def test_eval_mode_gradient_is_affine(self, bn_setup):
+        bn, x = bn_setup
+        bn.eval()
+        (bn(x)).sum().backward()
+        # In eval mode d out / d x = gamma / sqrt(var + eps), constant per
+        # channel.
+        expected = (
+            bn.weight.data / np.sqrt(bn.running_var + bn.eps)
+        ).reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(
+            x.grad, np.broadcast_to(expected, x.shape), atol=1e-10
+        )
+
+    def test_zero_variance_channel_stable(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.zeros((4, 2, 3, 3)), requires_grad=True)
+        out = bn(x)
+        out.sum().backward()
+        assert np.isfinite(out.data).all()
+        assert np.isfinite(x.grad).all()

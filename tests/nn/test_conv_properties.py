@@ -1,0 +1,88 @@
+"""Property tests for the convolution lowering (im2col / col2im pair)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.functional import _col2im, im2col
+from repro.nn.tensor import Tensor
+
+
+@st.composite
+def conv_configs(draw):
+    n = draw(st.integers(1, 2))
+    c = draw(st.integers(1, 3))
+    k = draw(st.integers(1, 3))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 2))
+    # Ensure the padded input fits at least one window.
+    min_hw = max(k - 2 * padding, 1)
+    h = draw(st.integers(min_hw, min_hw + 4))
+    w = draw(st.integers(min_hw, min_hw + 4))
+    if h + 2 * padding < k or w + 2 * padding < k:
+        h = w = k
+    return n, c, h, w, k, stride, padding
+
+
+class TestIm2colAdjointness:
+    @given(conv_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, config):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint
+        property that makes the conv backward correct."""
+        n, c, h, w, k, stride, padding = config
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, c, h, w))
+        cols, out_size = im2col(x, (k, k), (stride, stride),
+                                (padding, padding))
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = _col2im(y, x.shape, (k, k), (stride, stride),
+                       (padding, padding), out_size)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    @given(conv_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_output_shape_formula(self, config):
+        n, c, h, w, k, stride, padding = config
+        x = np.zeros((n, c, h, w))
+        _, (oh, ow) = im2col(x, (k, k), (stride, stride), (padding, padding))
+        assert oh == F.conv_output_size(h, k, stride, padding)
+        assert ow == F.conv_output_size(w, k, stride, padding)
+
+
+class TestConvLinearity:
+    @given(st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_is_linear_in_input(self, a, b):
+        rng = np.random.default_rng(1)
+        x1 = rng.normal(size=(1, 2, 5, 5))
+        x2 = rng.normal(size=(1, 2, 5, 5))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        combo = F.conv2d(Tensor(a * x1 + b * x2), w, padding=1).data
+        parts = (
+            a * F.conv2d(Tensor(x1), w, padding=1).data
+            + b * F.conv2d(Tensor(x2), w, padding=1).data
+        )
+        np.testing.assert_allclose(combo, parts, atol=1e-9)
+
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 1, 6, 6))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0  # delta kernel
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(out, x, atol=1e-12)
+
+    def test_translation_equivariance(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 1, 8, 8))
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        out = F.conv2d(Tensor(x), w).data
+        shifted = F.conv2d(Tensor(np.roll(x, 1, axis=3)), w).data
+        # Interior columns match under the same shift.
+        np.testing.assert_allclose(shifted[..., 2:], out[..., 1:-1],
+                                   atol=1e-12)

@@ -1,0 +1,72 @@
+"""Property tests for the data pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import ArrayDataset, DataLoader, RandomCrop, Subset
+
+
+def make_dataset(n):
+    images = np.arange(n * 3 * 4 * 4, dtype=np.float64).reshape(n, 3, 4, 4)
+    return ArrayDataset(images, np.arange(n) % 3)
+
+
+class TestLoaderPartitioning:
+    @given(st.integers(1, 40), st.integers(1, 16), st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_batches_partition_dataset(self, n, batch_size, shuffle):
+        loader = DataLoader(make_dataset(n), batch_size=batch_size,
+                            shuffle=shuffle, seed=0)
+        seen = []
+        for images, labels in loader:
+            assert 1 <= len(labels) <= batch_size
+            seen.extend(images[:, 0, 0, 0].tolist())
+        # Every sample appears exactly once per epoch.
+        assert len(seen) == n
+        assert len(set(seen)) == n
+
+    @given(st.integers(1, 40), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_drop_last_keeps_only_full_batches(self, n, batch_size):
+        loader = DataLoader(make_dataset(n), batch_size=batch_size,
+                            drop_last=True)
+        batches = list(loader)
+        assert all(len(b[1]) == batch_size for b in batches)
+        assert len(batches) == n // batch_size
+
+    @given(st.integers(1, 40), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_len_matches_iteration(self, n, batch_size):
+        loader = DataLoader(make_dataset(n), batch_size=batch_size)
+        assert len(loader) == len(list(loader))
+
+
+class TestSubsetProperties:
+    @given(st.permutations(list(range(10))))
+    @settings(max_examples=25, deadline=None)
+    def test_subset_respects_index_order(self, indices):
+        ds = make_dataset(10)
+        sub = Subset(ds, indices)
+        for i, idx in enumerate(indices):
+            image, label = sub[i]
+            expected_image, expected_label = ds[idx]
+            assert label == expected_label
+            np.testing.assert_array_equal(image, expected_image)
+
+
+class TestCropProperties:
+    @given(st.integers(0, 4), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_crop_content_comes_from_padded_image(self, padding, seed):
+        rng = np.random.default_rng(seed)
+        image = rng.normal(size=(3, 6, 6))
+        crop = RandomCrop(6, padding=padding)
+        out = crop(image, rng)
+        assert out.shape == (3, 6, 6)
+        # Every nonzero value in the crop exists in the original image.
+        original_values = set(np.round(image.reshape(-1), 9))
+        for v in out.reshape(-1):
+            if v != 0.0:
+                assert round(float(v), 9) in original_values

@@ -1,0 +1,207 @@
+"""Gradient and semantics checks for the NN op set."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from .test_tensor import numerical_grad
+
+
+class TestConv2d:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        for f in range(3):
+            expected = np.zeros((8, 8))
+            for c in range(2):
+                expected += signal.correlate2d(x[0, c], w[f, c], mode="same")
+            np.testing.assert_allclose(out[0, f], expected, atol=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (3, 2)])
+    def test_output_shape(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 3, 11, 11)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=stride, padding=padding)
+        expected = F.conv_output_size(11, 3, stride, padding)
+        assert out.shape == (2, 4, expected, expected)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0), (2, 1)])
+    def test_gradients(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def loss():
+            out = F.conv2d(x, w, b, stride=stride, padding=padding)
+            return (out ** 2).sum().item()
+
+        (F.conv2d(x, w, b, stride=stride, padding=padding) ** 2).sum().backward()
+        for t in (x, w, b):
+            np.testing.assert_allclose(
+                t.grad, numerical_grad(loss, t.data), atol=1e-5
+            )
+
+    def test_no_bias_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+
+        def loss():
+            return (F.conv2d(x, w, padding=1) ** 2).sum().item()
+
+        (F.conv2d(x, w, padding=1) ** 2).sum().backward()
+        np.testing.assert_allclose(w.grad, numerical_grad(loss, w.data), atol=1e-5)
+        np.testing.assert_allclose(x.grad, numerical_grad(loss, x.data), atol=1e-5)
+
+    def test_rectangular_input(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 6, 10)))
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 1, 3, 5)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_with_padding(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        out = F.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_max_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+
+        def loss():
+            return (F.max_pool2d(x, 3, 2, 1) ** 2).sum().item()
+
+        (F.max_pool2d(x, 3, 2, 1) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numerical_grad(loss, x.data), atol=1e-5)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+
+        def loss():
+            return (F.avg_pool2d(x, 2) ** 2).sum().item()
+
+        (F.avg_pool2d(x, 2) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numerical_grad(loss, x.data), atol=1e-5)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 5))
+        np.testing.assert_allclose(
+            F.global_avg_pool2d(Tensor(x)).data, x.mean(axis=(2, 3))
+        )
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2,))
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out, x @ w.T + b)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(
+            F.linear(Tensor(x), Tensor(w)).data, x @ w.T
+        )
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_sums_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(5, 7)) * 10)
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0]]))
+        out = F.log_softmax(logits).data
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_grad(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+
+        def loss():
+            return (F.log_softmax(x) ** 2).sum().item()
+
+        (F.log_softmax(x) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numerical_grad(loss, x.data), atol=1e-5)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(6), targets].mean()
+        assert loss == pytest.approx(expected)
+
+    def test_cross_entropy_grad(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        targets = rng.integers(0, 5, size=4)
+
+        def loss():
+            return F.cross_entropy(logits, targets).item()
+
+        F.cross_entropy(logits, targets).backward()
+        np.testing.assert_allclose(
+            logits.grad, numerical_grad(loss, logits.data), atol=1e-6
+        )
+
+    def test_nll_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)))
+        targets = rng.integers(0, 5, size=4)
+        ce = F.cross_entropy(logits, targets).item()
+        nll = F.nll_loss(F.log_softmax(logits), targets).item()
+        assert ce == pytest.approx(nll)
+
+    def test_mse(self, rng):
+        pred = Tensor(rng.normal(size=(3,)))
+        target = rng.normal(size=(3,))
+        assert F.mse_loss(pred, target).item() == pytest.approx(
+            ((pred.data - target) ** 2).mean()
+        )
+
+
+class TestSTE:
+    def test_round_ste_forward(self):
+        x = Tensor([0.4, 0.6, -1.5])
+        np.testing.assert_allclose(F.round_ste(x).data, [0.0, 1.0, -2.0])
+
+    def test_round_ste_identity_gradient(self):
+        x = Tensor([0.4, 0.6], requires_grad=True)
+        (F.round_ste(x) * np.array([2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 3.0])
+
+    def test_floor_ste(self):
+        x = Tensor([0.9, -0.1], requires_grad=True)
+        out = F.floor_ste(x)
+        np.testing.assert_allclose(out.data, [0.0, -1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(x, (3, 3), (2, 2), (1, 1))
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 16, 27)
+
+    def test_values_single_window(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        cols, _ = F.im2col(x, (3, 3), (1, 1), (0, 0))
+        np.testing.assert_allclose(cols[0], x.reshape(-1))

@@ -1,0 +1,96 @@
+"""Edge cases of the op set: degenerate kernels, strides, tiny inputs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestConvEdgeCases:
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        expected = np.einsum("nchw,fc->nfhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_kernel_equals_input(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 5, 5))
+        out = F.conv2d(Tensor(x), Tensor(w))
+        assert out.shape == (2, 3, 1, 1)
+        expected = np.einsum("nchw,fchw->nf", x, w)
+        np.testing.assert_allclose(out.data[:, :, 0, 0], expected, atol=1e-10)
+
+    def test_stride_larger_than_kernel(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 9, 9)))
+        w = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        out = F.conv2d(x, w, stride=3)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_single_pixel_input(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 1, 1)))
+        w = Tensor(rng.normal(size=(3, 2, 1, 1)))
+        assert F.conv2d(x, w).shape == (1, 3, 1, 1)
+
+    def test_batch_of_one(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)), requires_grad=True)
+        (F.conv2d(x, w, padding=1) ** 2).sum().backward()
+        assert x.grad is not None and w.grad is not None
+
+
+class TestPoolEdgeCases:
+    def test_pool_kernel_equals_input(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = F.max_pool2d(Tensor(x), 4).data
+        np.testing.assert_allclose(out[0, :, 0, 0], x[0].max(axis=(1, 2)))
+
+    def test_overlapping_stride_one_pool(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)), requires_grad=True)
+        out = F.max_pool2d(x, 3, stride=1)
+        assert out.shape == (1, 1, 3, 3)
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_negative_inputs_with_padding(self):
+        # -inf padding must never win the max.
+        x = Tensor(np.full((1, 1, 3, 3), -5.0))
+        out = F.max_pool2d(x, 3, stride=1, padding=1).data
+        assert (out == -5.0).all()
+
+
+class TestLossEdgeCases:
+    def test_cross_entropy_single_sample(self):
+        logits = Tensor(np.array([[2.0, -1.0]]))
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert 0 < loss.item() < 1
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        assert F.cross_entropy(logits, np.array([0])).item() < 1e-10
+
+    def test_cross_entropy_two_classes_symmetry(self):
+        logits = Tensor(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        l1 = F.cross_entropy(logits, np.array([0, 1])).item()
+        l2 = F.cross_entropy(logits, np.array([1, 0])).item()
+        assert l1 < l2
+
+    def test_softmax_single_class(self):
+        out = F.softmax(Tensor(np.array([[3.0]]))).data
+        np.testing.assert_allclose(out, [[1.0]])
+
+
+class TestSTEEdgeCases:
+    def test_round_half_even_matches_numpy(self):
+        x = Tensor(np.array([0.5, 1.5, 2.5, -0.5]))
+        np.testing.assert_allclose(
+            F.round_ste(x).data, np.round(x.data)
+        )
+
+    def test_round_ste_through_chain(self, rng):
+        x = Tensor(rng.normal(size=(10,)), requires_grad=True)
+        out = (F.round_ste(x * 4) / 4 - x) ** 2
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()

@@ -1,0 +1,55 @@
+"""Weight initializer statistics and fan computation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_fans(self):
+        assert init.compute_fans((10, 20)) == (20, 10)
+
+    def test_conv_fans(self):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        assert init.compute_fans((8, 4, 3, 3)) == (36, 72)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init.compute_fans((5,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng=rng)
+        expected = np.sqrt(2.0 / 128)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 64), rng=rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((200, 200), rng=rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 64), rng=rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 128)
+
+    def test_deterministic_given_rng(self):
+        a = init.kaiming_normal((4, 4), rng=np.random.default_rng(7))
+        b = init.kaiming_normal((4, 4), rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)
+
+    def test_set_seed_controls_default(self):
+        init.set_seed(42)
+        a = init.kaiming_normal((3, 3))
+        init.set_seed(42)
+        b = init.kaiming_normal((3, 3))
+        np.testing.assert_allclose(a, b)

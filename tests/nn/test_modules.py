@@ -1,0 +1,165 @@
+"""Module system: registration, traversal, state dicts, layer semantics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        layer = nn.Linear(3, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_module_names(self):
+        net = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_no_bias_not_registered(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert "bias" not in dict(layer.named_parameters())
+        assert layer.bias is None
+
+    def test_reassign_to_none_deregisters(self):
+        layer = nn.Linear(3, 2)
+        layer.bias = None
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_named_modules_includes_self(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "0" in names
+
+    def test_buffers_traversed(self):
+        bn = nn.BatchNorm2d(4)
+        buffers = dict(bn.named_buffers())
+        assert set(buffers) == {"running_mean", "running_var"}
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_children(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(list(net.children())) == 2
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = nn.Sequential(nn.BatchNorm2d(2))
+        net.eval()
+        assert not net.training and not net[0].training
+        net.train()
+        assert net.training and net[0].training
+
+    def test_zero_grad(self, rng):
+        layer = nn.Linear(3, 2)
+        x = Tensor(rng.normal(size=(2, 3)))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, rng=rng), nn.BatchNorm2d(4))
+        state = net.state_dict()
+        for p in net.parameters():
+            p.data += 1.0
+        net.load_state_dict(state)
+        np.testing.assert_allclose(
+            net[0].weight.data, state["0.weight"]
+        )
+
+    def test_snapshot_is_copy(self):
+        layer = nn.Linear(2, 2)
+        state = layer.state_dict()
+        layer.weight.data += 5.0
+        assert not np.allclose(state["weight"], layer.weight.data)
+
+    def test_buffers_roundtrip(self):
+        bn = nn.BatchNorm2d(3)
+        bn.running_mean += 2.0
+        state = bn.state_dict()
+        bn2 = nn.BatchNorm2d(3)
+        bn2.load_state_dict(state)
+        np.testing.assert_allclose(bn2.running_mean, bn.running_mean)
+
+    def test_unknown_key_raises(self):
+        layer = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(2)})
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_repr(self):
+        assert "Conv2d(3, 8" in repr(nn.Conv2d(3, 8, 3))
+
+
+class TestBatchNorm2d:
+    def test_normalizes_in_training(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)  # adopt batch stats fully
+        x = Tensor(rng.normal(loc=5.0, size=(16, 2, 4, 4)))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.data.mean(axis=(0, 2, 3)),
+                                   atol=1e-10)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)
+        x = Tensor(rng.normal(size=(16, 2, 4, 4)))
+        bn(x)
+        bn.eval()
+        y = Tensor(rng.normal(size=(4, 2, 4, 4)))
+        out = bn(y).data
+        mean = bn.running_mean.reshape(1, 2, 1, 1)
+        std = np.sqrt(bn.running_var.reshape(1, 2, 1, 1) + bn.eps)
+        np.testing.assert_allclose(out, (y.data - mean) / std, atol=1e-10)
+
+    def test_affine_params_learn(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+
+class TestContainers:
+    def test_sequential_order(self, rng):
+        net = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        out = net(Tensor(rng.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_sequential_getitem_and_iter(self):
+        net = nn.Sequential(nn.ReLU(), nn.Identity())
+        assert isinstance(net[1], nn.Identity)
+        assert len(list(iter(net))) == 2
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)))
+        assert (nn.Identity()(x).data == x.data).all()
+
+    def test_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 3, 3)
+        assert nn.AvgPool2d(3)(x).shape == (1, 2, 2, 2)
+        assert nn.GlobalAvgPool2d()(x).shape == (1, 2)

@@ -1,0 +1,101 @@
+"""Optimizer semantics: SGD momentum/weight decay/nesterov, Adam."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def make_param(value=1.0):
+    p = Tensor(np.asarray([value]), requires_grad=True)
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param(1.0)
+        p.grad = np.asarray([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_skips_params_without_grad(self):
+        p = make_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay(self):
+        p = make_param(2.0)
+        p.grad = np.asarray([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.asarray([1.0])
+        opt.step()  # v = 1, p = -1
+        p.grad = np.asarray([1.0])
+        opt.step()  # v = 1.9, p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        results = []
+        for nesterov in (False, True):
+            p = make_param(0.0)
+            opt = SGD([p], lr=1.0, momentum=0.9, nesterov=nesterov)
+            for _ in range(2):
+                p.grad = np.asarray([1.0])
+                opt.step()
+            results.append(p.data.copy())
+        assert not np.allclose(results[0], results[1])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.asarray([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.asarray([5.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step magnitude is ~lr.
+        p = make_param(0.0)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.asarray([3.0])
+        opt.step()
+        np.testing.assert_allclose(abs(p.data), [0.01], rtol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.asarray([5.0]), requires_grad=True)
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay(self):
+        p = make_param(1.0)
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.asarray([0.0])
+        opt.step()
+        assert p.data[0] < 1.0

@@ -1,0 +1,113 @@
+"""Learning-rate schedules, especially the hybrid plateau-cosine rule."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD
+from repro.nn.schedule import (
+    ConstantLR,
+    CosineAnnealingLR,
+    HybridPlateauCosine,
+    StepLR,
+)
+from repro.nn.tensor import Tensor
+
+
+def make_opt(lr=0.1):
+    p = Tensor(np.zeros(1), requires_grad=True)
+    return SGD([p], lr=lr)
+
+
+class TestBasicSchedules:
+    def test_constant(self):
+        sched = ConstantLR(make_opt(0.2))
+        assert all(sched.step() == 0.2 for _ in range(5))
+
+    def test_step_lr(self):
+        sched = StepLR(make_opt(1.0), step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        # epochs 1..5 -> decay at epochs 2 and 4
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_respects_eta_min(self):
+        sched = CosineAnnealingLR(make_opt(1.0), t_max=4, eta_min=0.1)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1)
+
+    def test_history_recorded(self):
+        sched = ConstantLR(make_opt())
+        for _ in range(3):
+            sched.step()
+        assert len(sched.history) == 3
+
+    def test_scheduler_writes_to_optimizer(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == 0.5
+
+
+class TestHybridPlateauCosine:
+    def test_constant_while_improving(self):
+        sched = HybridPlateauCosine(make_opt(0.1), patience=2)
+        lrs = [sched.step(metric=0.5 + 0.1 * i) for i in range(5)]
+        assert all(lr == pytest.approx(0.1) for lr in lrs)
+        assert sched.num_restarts == 0
+
+    def test_bump_on_plateau(self):
+        sched = HybridPlateauCosine(
+            make_opt(0.1), patience=2, bump_factor=5.0, cycle_length=4
+        )
+        sched.step(metric=0.9)
+        lrs = [sched.step(metric=0.9) for _ in range(2)]  # plateau
+        assert sched.num_restarts == 1
+        # The bump fires on the epoch the plateau is detected.
+        assert lrs[-1] == pytest.approx(0.5)
+
+    def test_cosine_decays_back_to_base(self):
+        sched = HybridPlateauCosine(
+            make_opt(0.1), patience=1, bump_factor=4.0, cycle_length=3
+        )
+        sched.step(metric=0.9)
+        lrs = [sched.step(metric=0.9) for _ in range(6)]
+        # The cycle peaks at bump*base and cosine-decays back to base
+        # (a new cycle may then start, since the metric stays flat).
+        assert max(lrs) == pytest.approx(0.4)
+        assert lrs[3] == pytest.approx(0.1)
+        assert all(a > b for a, b in zip(lrs[:4], lrs[1:4]))
+
+    def test_can_restart_multiple_times(self):
+        sched = HybridPlateauCosine(
+            make_opt(0.1), patience=1, bump_factor=2.0, cycle_length=1
+        )
+        for _ in range(10):
+            sched.step(metric=0.5)
+        assert sched.num_restarts >= 2
+
+    def test_improvement_resets_patience(self):
+        sched = HybridPlateauCosine(make_opt(0.1), patience=2)
+        sched.step(metric=0.5)
+        sched.step(metric=0.5)   # 1 bad epoch
+        sched.step(metric=0.9)   # improvement resets
+        sched.step(metric=0.9)   # 1 bad epoch
+        assert sched.num_restarts == 0
+
+    def test_invalid_bump_rejected(self):
+        with pytest.raises(ValueError):
+            HybridPlateauCosine(make_opt(), bump_factor=1.0)
+
+    def test_lr_never_below_base(self):
+        sched = HybridPlateauCosine(
+            make_opt(0.1), patience=1, bump_factor=3.0, cycle_length=2
+        )
+        lrs = [sched.step(metric=0.5) for _ in range(12)]
+        assert min(lrs) >= 0.1 - 1e-12

@@ -1,0 +1,100 @@
+"""Checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.tensor import Tensor
+from repro.quantization import (
+    get_bit_config,
+    quantize_model,
+    quantized_layers,
+    set_uniform_bits,
+)
+
+
+class TestFloatCheckpoint:
+    def test_roundtrip_outputs_identical(self, tmp_path, rng):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)))
+        before = net(x).data.copy()
+        save_checkpoint(net, tmp_path / "ckpt.npz")
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(7))
+        load_checkpoint(other, tmp_path / "ckpt.npz")
+        np.testing.assert_allclose(other(x).data, before)
+
+    def test_extra_metadata_roundtrip(self, tmp_path):
+        net = models.MLP(4, [4], 2, rng=np.random.default_rng(0))
+        save_checkpoint(net, tmp_path / "c.npz", extra={"baseline": 0.91})
+        extra = load_checkpoint(
+            models.MLP(4, [4], 2, rng=np.random.default_rng(1)),
+            tmp_path / "c.npz",
+        )
+        assert extra == {"baseline": 0.91}
+
+
+class TestQuantizedCheckpoint:
+    def test_bit_config_restored(self, tmp_path):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        layers = quantized_layers(net)
+        layers[0][1].w_bits = 2
+        config = get_bit_config(net)
+        save_checkpoint(net, tmp_path / "q.npz")
+
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(3))
+        quantize_model(other, "pact")
+        load_checkpoint(other, tmp_path / "q.npz")
+        assert get_bit_config(other) == config
+
+    def test_quantized_outputs_identical(self, tmp_path, rng):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 3, 3)
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)))
+        net.eval()
+        before = net(x).data.copy()
+        save_checkpoint(net, tmp_path / "q.npz")
+
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(9))
+        quantize_model(other, "pact")
+        load_checkpoint(other, tmp_path / "q.npz")
+        other.eval()
+        np.testing.assert_allclose(other(x).data, before)
+
+    def test_lsq_step_survives_roundtrip(self, tmp_path, rng):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "lsq")
+        set_uniform_bits(net, 4, 4)
+        net(Tensor(rng.normal(size=(2, 3, 12, 12))))  # initialize steps
+        _, layer = quantized_layers(net)[0]
+        layer.weight_quantizer.step.data[...] = 0.1234
+        save_checkpoint(net, tmp_path / "lsq.npz")
+
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(2))
+        quantize_model(other, "lsq")
+        load_checkpoint(other, tmp_path / "lsq.npz")
+        _, other_layer = quantized_layers(other)[0]
+        assert float(other_layer.weight_quantizer.step.data) == pytest.approx(
+            0.1234
+        )
+        # A forward pass must NOT re-derive the step from statistics.
+        other(Tensor(rng.normal(size=(1, 3, 12, 12))))
+        assert float(other_layer.weight_quantizer.step.data) == pytest.approx(
+            0.1234
+        )
+
+    def test_fp_pinned_layers_roundtrip(self, tmp_path):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 3, 3, first_last_w_bits=None,
+                         first_last_a_bits=None)
+        save_checkpoint(net, tmp_path / "fp.npz")
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(1))
+        quantize_model(other, "pact")
+        load_checkpoint(other, tmp_path / "fp.npz")
+        layers = quantized_layers(other)
+        assert layers[0][1].w_bits is None
+        assert layers[1][1].w_bits == 3

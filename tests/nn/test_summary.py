@@ -1,0 +1,65 @@
+"""Model summary tables."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn.summary import format_summary, summarize
+from repro.nn.tensor import Tensor
+from repro.quantization import quantize_model, set_uniform_bits
+
+
+class TestSummarize:
+    def test_rows_for_every_compute_layer(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        rows = summarize(net, (3, 12, 12))
+        assert [r.name for r in rows] == ["conv1", "conv2", "conv3", "fc"]
+
+    def test_output_shapes(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        rows = summarize(net, (3, 12, 12))
+        assert rows[0].output_shape == (1, 4, 12, 12)
+        assert rows[-1].output_shape == (1, 10)
+
+    def test_param_counts_include_bias(self):
+        net = models.MLP(8, [4], 2, rng=np.random.default_rng(0))
+        rows = summarize(net, (2, 2, 2))
+        assert rows[0].n_params == 8 * 4 + 4
+
+    def test_bits_reported_for_quantized_model(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 2)
+        rows = summarize(net, (3, 12, 12))
+        assert all(r.w_bits == 4 and r.a_bits == 2 for r in rows)
+
+    def test_float_model_bits_none(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        rows = summarize(net, (3, 12, 12))
+        assert all(r.w_bits is None for r in rows)
+
+    def test_forward_unaffected(self, rng):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(1, 3, 12, 12)))
+        before = net(x).data.copy()
+        summarize(net, (3, 12, 12))
+        np.testing.assert_allclose(net(x).data, before)
+
+
+class TestFormat:
+    def test_table_contains_totals(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        rows = summarize(net, (3, 12, 12))
+        text = format_summary(rows)
+        assert "total" in text
+        assert "conv1" in text
+
+    def test_bits_column_toggles(self):
+        net = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 3, 3)
+        rows = summarize(net, (3, 12, 12))
+        with_bits = format_summary(rows, show_bits=True)
+        without = format_summary(rows, show_bits=False)
+        assert "3/3" in with_bits
+        assert "3/3" not in without

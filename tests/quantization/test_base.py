@@ -1,0 +1,166 @@
+"""Fake-quant core invariants (including hypothesis property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.tensor import Tensor
+from repro.quantization.base import (
+    IdentityQuantizer,
+    WeightQuantizer,
+    fake_quantize_symmetric,
+    fake_quantize_unsigned,
+    n_levels,
+    quantization_error,
+    quantize_unit_ste,
+)
+
+finite_arrays = arrays(
+    np.float64, st.integers(1, 40).map(lambda n: (n,)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestNLevels:
+    @pytest.mark.parametrize("bits,expected", [(1, 1), (2, 3), (4, 15), (8, 255)])
+    def test_unsigned(self, bits, expected):
+        assert n_levels(bits) == expected
+
+    @pytest.mark.parametrize("bits,expected", [(1, 1), (2, 1), (3, 3), (8, 127)])
+    def test_signed(self, bits, expected):
+        assert n_levels(bits, signed=True) == expected
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            n_levels(0)
+
+
+class TestUnitQuantizer:
+    @given(finite_arrays, st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, data, bits):
+        x = Tensor(np.clip(data, 0, 1))
+        once = quantize_unit_ste(x, bits).data
+        twice = quantize_unit_ste(Tensor(once), bits).data
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(finite_arrays, st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_level_count_bounded(self, data, bits):
+        x = Tensor(np.clip(np.abs(data) / 100, 0, 1))
+        out = quantize_unit_ste(x, bits).data
+        assert len(np.unique(out)) <= 2 ** bits
+
+    @given(finite_arrays, st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_error_bounded_by_half_step(self, data, bits):
+        unit = np.clip(np.abs(data) / 100, 0, 1)
+        out = quantize_unit_ste(Tensor(unit), bits).data
+        step = 1.0 / (2 ** bits - 1)
+        assert np.abs(out - unit).max() <= step / 2 + 1e-12
+
+    def test_monotone(self):
+        x = np.linspace(0, 1, 101)
+        out = quantize_unit_ste(Tensor(x), 3).data
+        assert (np.diff(out) >= 0).all()
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.uniform(0, 1, size=500)
+        errors = [
+            quantization_error(x, quantize_unit_ste(Tensor(x), b).data)
+            for b in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestSymmetricQuantizer:
+    @given(finite_arrays, st.integers(2, 8),
+           st.floats(0.1, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_output_in_clip_range(self, data, bits, alpha):
+        out = fake_quantize_symmetric(Tensor(data), bits, alpha).data
+        assert (np.abs(out) <= alpha + 1e-9).all()
+
+    @given(finite_arrays, st.integers(2, 8), st.floats(0.1, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_in_sign(self, data, bits, alpha):
+        pos = fake_quantize_symmetric(Tensor(data), bits, alpha).data
+        neg = fake_quantize_symmetric(Tensor(-data), bits, alpha).data
+        np.testing.assert_allclose(pos, -neg, atol=1e-12)
+
+    @given(finite_arrays, st.integers(2, 8), st.floats(0.1, 50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_maps_to_zero(self, data, bits, alpha):
+        out = fake_quantize_symmetric(Tensor(np.zeros(3)), bits, alpha).data
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            fake_quantize_symmetric(Tensor([1.0]), 4, 0.0)
+
+    def test_grid_spacing(self):
+        out = fake_quantize_symmetric(
+            Tensor(np.linspace(-1, 1, 1000)), 3, 1.0
+        ).data
+        levels = np.unique(out)
+        # signed 3-bit grid: {0, ±1/3, ±2/3, ±1}
+        np.testing.assert_allclose(np.diff(levels), 1 / 3, atol=1e-12)
+
+
+class TestUnsignedQuantizer:
+    def test_clips_negatives_to_zero(self):
+        out = fake_quantize_unsigned(Tensor([-5.0, 0.5]), 4, 1.0).data
+        assert out[0] == 0.0
+
+    def test_alpha_is_max(self):
+        out = fake_quantize_unsigned(Tensor([100.0]), 4, 2.0).data
+        assert out[0] == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            fake_quantize_unsigned(Tensor([1.0]), 4, -1.0)
+
+
+class TestQuantizerBase:
+    def test_none_bits_is_identity(self, rng):
+        class Doubler(WeightQuantizer):
+            def quantize(self, w, bits):
+                return w * 2
+
+        q = Doubler()
+        x = Tensor(rng.normal(size=(3,)))
+        assert (q(x).data == x.data).all()
+        q.set_bits(4)
+        assert (q(x).data == 2 * x.data).all()
+
+    def test_set_bits_validates(self):
+        q = IdentityQuantizer()
+        with pytest.raises(ValueError):
+            q.set_bits(0)
+
+    def test_bits_change_hook_fires(self):
+        events = []
+
+        class Spy(WeightQuantizer):
+            def on_bits_change(self, previous, new):
+                events.append((previous, new))
+
+            def quantize(self, w, bits):
+                return w
+
+        q = Spy()
+        q.set_bits(8)
+        q.set_bits(8)  # no change, no event
+        q.set_bits(4)
+        assert events == [(None, 8), (8, 4)]
+
+    def test_identity_quantizer(self, rng):
+        q = IdentityQuantizer()
+        q.set_bits(2)
+        x = Tensor(rng.normal(size=(4,)))
+        assert (q(x).data == x.data).all()
+
+    def test_quantization_error_definition(self):
+        assert quantization_error(np.array([1.0, 2.0]), np.array([1.0, 1.0])) == 1.0

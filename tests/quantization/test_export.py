@@ -1,0 +1,85 @@
+"""Integer export packing: exact round trips and realized compression."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.quantization import quantize_model, quantized_layers, set_uniform_bits
+from repro.quantization.export import pack_model, unpack_into
+
+
+def quantized_net(bits=4, policy="pact"):
+    net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+    quantize_model(net, policy)
+    set_uniform_bits(net, bits, bits)
+    return net
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("policy", ["dorefa", "wrpn", "pact_sawb", "lqnets"])
+    def test_unpack_is_exact(self, policy):
+        net = quantized_net(bits=3, policy=policy)
+        packed = pack_model(net)
+        for name, layer in quantized_layers(net):
+            expected = layer.quantized_weight().data
+            np.testing.assert_array_equal(packed.layers[name].unpack(), expected)
+
+    def test_unpack_into_model_preserves_forward(self, rng):
+        from repro.nn.tensor import Tensor
+
+        net = quantized_net(bits=3)
+        x = Tensor(rng.normal(size=(2, 3, 12, 12)))
+        before = net(x).data.copy()
+        packed = pack_model(net)
+        unpack_into(net, packed)
+        # The shadow weights now hold the quantized values; quantizing them
+        # again is idempotent on a uniform grid, so outputs match.
+        after = net(x).data
+        np.testing.assert_allclose(after, before, atol=1e-9)
+
+    def test_unknown_layer_raises(self):
+        net = quantized_net()
+        packed = pack_model(net)
+        other = models.MLP(8, [4], 2, rng=np.random.default_rng(0))
+        quantize_model(other, "pact")
+        with pytest.raises(KeyError):
+            unpack_into(other, packed)
+
+
+class TestSizes:
+    def test_low_bits_pack_small(self):
+        net = quantized_net(bits=2)
+        packed = pack_model(net)
+        # 2-bit symmetric grids have <= 2^2 levels -> <= 2 index bits,
+        # so realized compression approaches 16x (codebook overhead aside).
+        assert packed.realized_compression > 10.0
+
+    def test_more_bits_bigger_payload(self):
+        small = pack_model(quantized_net(bits=2)).payload_bytes
+        large = pack_model(quantized_net(bits=8)).payload_bytes
+        assert large > small
+
+    def test_fp_layers_skipped(self):
+        net = quantized_net(bits=4)
+        layers = quantized_layers(net)
+        layers[0][1].w_bits = None
+        packed = pack_model(net)
+        assert layers[0][0] not in packed.layers
+
+    def test_index_bits_match_level_count(self):
+        net = quantized_net(bits=3, policy="pact_sawb")
+        packed = pack_model(net)
+        for layer in packed.layers.values():
+            assert 2 ** layer.index_bits >= len(layer.codebook)
+            assert 2 ** (layer.index_bits - 1) < len(layer.codebook) or (
+                layer.index_bits == 1
+            )
+
+    def test_payload_accounting(self):
+        net = quantized_net(bits=4)
+        packed = pack_model(net)
+        total = sum(l.payload_bytes for l in packed.layers.values())
+        assert packed.payload_bytes == total
+        assert packed.fp32_bytes == sum(
+            int(np.prod(l.shape)) * 4 for l in packed.layers.values()
+        )

@@ -1,0 +1,71 @@
+"""Property tests for range observers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quantization import (
+    HistogramObserver,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+)
+
+batches = st.lists(
+    arrays(np.float64, st.integers(1, 30).map(lambda n: (n,)),
+           elements=st.floats(-50, 50)),
+    min_size=1, max_size=5,
+)
+
+
+class TestMinMaxProperties:
+    @given(batches)
+    @settings(max_examples=40, deadline=None)
+    def test_range_contains_all_observed(self, data):
+        obs = MinMaxObserver()
+        for batch in data:
+            obs.observe(batch)
+        lo, hi = obs.range()
+        allv = np.concatenate(data)
+        assert lo <= allv.min() + 1e-12
+        assert hi >= allv.max() - 1e-12
+
+    @given(batches)
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariant(self, data):
+        a = MinMaxObserver()
+        b = MinMaxObserver()
+        for batch in data:
+            a.observe(batch)
+        for batch in reversed(data):
+            b.observe(batch)
+        assert a.range() == b.range()
+
+
+class TestMovingAverageProperties:
+    @given(batches)
+    @settings(max_examples=40, deadline=None)
+    def test_range_bounded_by_observed_extremes(self, data):
+        obs = MovingAverageMinMaxObserver(momentum=0.7)
+        for batch in data:
+            obs.observe(batch)
+        lo, hi = obs.range()
+        allv = np.concatenate(data)
+        # EMA stays inside the convex hull of observed extremes.
+        assert lo >= allv.min() - 1e-9
+        assert hi <= allv.max() + 1e-9
+
+
+class TestHistogramProperties:
+    @given(batches)
+    @settings(max_examples=40, deadline=None)
+    def test_mass_approximately_conserved(self, data):
+        obs = HistogramObserver(n_bins=128)
+        for batch in data:
+            obs.observe(batch)
+        counts, max_abs = obs.histogram()
+        total = sum(len(b) for b in data)
+        # Re-binning on range growth loses at most a few boundary counts.
+        assert counts.sum() == pytest.approx(total, rel=0.05, abs=3)
+        assert max_abs >= max(np.abs(np.concatenate(data)).max(), 1e-12) - 1e-9

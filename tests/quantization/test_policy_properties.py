@@ -1,0 +1,95 @@
+"""Cross-policy property tests: invariants every policy must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.quantization import (
+    available_policies,
+    get_policy,
+    quantize_model,
+    quantized_layers,
+    set_uniform_bits,
+)
+
+ALL_POLICIES = sorted(
+    p for p in available_policies() if p != "custom_test"
+)
+
+
+@pytest.fixture()
+def tiny_net():
+    def make(seed=0):
+        return models.SmallConvNet(width=4, rng=np.random.default_rng(seed))
+
+    return make
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+class TestPolicyInvariants:
+    def test_weight_quantizer_reduces_levels(self, policy, rng):
+        q = get_policy(policy).make_weight_quantizer()
+        q.set_bits(2)
+        w = Tensor(rng.normal(size=(1000,)))
+        out = q(w).data
+        assert len(np.unique(out)) <= 4 + 1  # grid + possible zero
+
+    def test_weight_quantizer_idempotent_values(self, policy, rng):
+        # Quantizing already-quantized values must not expand the codebook.
+        q = get_policy(policy).make_weight_quantizer()
+        q.set_bits(3)
+        w = Tensor(rng.normal(size=(500,)))
+        once = q(w).data
+        twice = q(Tensor(once)).data
+        assert len(np.unique(twice)) <= len(np.unique(once)) + 1
+
+    def test_high_bits_preserve_ordering(self, policy, rng):
+        q = get_policy(policy).make_weight_quantizer()
+        q.set_bits(8)
+        w = np.sort(rng.normal(size=(200,)))
+        out = q(Tensor(w)).data
+        assert (np.diff(out) >= -1e-9).all()
+
+    def test_act_quantizer_finite(self, policy, rng):
+        q = get_policy(policy).make_act_quantizer(False)
+        q.set_bits(3)
+        x = Tensor(rng.normal(size=(200,)) * 10)
+        assert np.isfinite(q(x).data).all()
+
+    def test_signed_act_quantizer_finite(self, policy, rng):
+        q = get_policy(policy).make_act_quantizer(True)
+        q.set_bits(3)
+        x = Tensor(rng.normal(size=(200,)) * 3)
+        out = q(x).data
+        assert np.isfinite(out).all()
+
+    def test_gradients_finite_end_to_end(self, policy, tiny_net, rng):
+        net = quantize_model(tiny_net(), policy)
+        set_uniform_bits(net, 2, 2)
+        x = Tensor(rng.normal(size=(4, 3, 8, 8)))
+        y = rng.integers(0, 10, size=4)
+        loss = F.cross_entropy(net(x), y)
+        loss.backward()
+        for _, layer in quantized_layers(net):
+            assert np.isfinite(layer.weight.grad).all()
+
+    def test_more_bits_lower_weight_error(self, policy, rng):
+        q = get_policy(policy).make_weight_quantizer()
+        w = rng.normal(size=(2000,)) * 0.5
+        errors = []
+        for bits in (2, 4, 8):
+            q.set_bits(bits)
+            out = q(Tensor(w)).data
+            errors.append(((w - out) ** 2).mean())
+        assert errors[2] <= errors[0] + 1e-12
+
+    def test_bit_reconfig_changes_output(self, policy, rng):
+        q = get_policy(policy).make_weight_quantizer()
+        w = Tensor(rng.normal(size=(500,)))
+        q.set_bits(8)
+        out8 = q(w).data.copy()
+        q.set_bits(2)
+        out2 = q(w).data
+        assert not np.allclose(out8, out2)

@@ -1,0 +1,159 @@
+"""QIL interval learning and BNN/XNOR binary quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.quantization import (
+    BNNActivationQuantizer,
+    BNNWeightQuantizer,
+    QILActivationQuantizer,
+    QILWeightQuantizer,
+    XNORWeightQuantizer,
+    per_channel_symmetric_quantize,
+)
+
+
+class TestQILWeights:
+    def test_prunes_small_magnitudes(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(3)
+        w = Tensor(rng.normal(size=(2000,)))
+        out = q(w).data
+        # Values well below the learned lower edge are zeroed.
+        tiny = np.abs(w.data) < float(self.lower_edge(q)) * 0.5
+        np.testing.assert_allclose(out[tiny], 0.0)
+
+    @staticmethod
+    def lower_edge(q):
+        return float(q.center.data) - float(q.half_width.data)
+
+    def test_saturates_to_unit(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(3)
+        out = q(Tensor(rng.normal(size=(2000,)) * 5)).data
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+    def test_sign_preserved(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(4)
+        w = rng.normal(size=(500,))
+        out = q(Tensor(w)).data
+        nonzero = out != 0
+        np.testing.assert_array_equal(np.sign(out[nonzero]),
+                                      np.sign(w[nonzero]))
+
+    def test_interval_params_learnable(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(3)
+        w = Tensor(rng.normal(size=(500,)), requires_grad=True)
+        q(w).sum().backward()
+        assert q.center.grad is not None
+        assert q.half_width.grad is not None
+        assert len(q.parameters()) == 2
+
+    def test_reinit_on_bits_change(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(8)
+        q(Tensor(rng.normal(size=(100,))))
+        q.center.data[...] = 99.0
+        q.set_bits(2)
+        q(Tensor(rng.normal(size=(100,))))
+        assert float(q.center.data) < 10.0
+
+    def test_degenerate_half_width_reanchored(self, rng):
+        q = QILWeightQuantizer()
+        q.set_bits(3)
+        q(Tensor(rng.normal(size=(100,))))
+        q.half_width.data[...] = 0.0
+        out = q(Tensor(rng.normal(size=(100,))))
+        assert np.isfinite(out.data).all()
+
+
+class TestQILActivations:
+    def test_unsigned_output_range(self, rng):
+        q = QILActivationQuantizer()
+        q.set_bits(3)
+        out = q(Tensor(rng.normal(size=(500,)) * 3)).data
+        assert out.min() >= 0.0 and out.max() <= 1.0 + 1e-9
+
+    def test_signed_mode(self, rng):
+        q = QILActivationQuantizer(signed=True)
+        q.set_bits(4)
+        out = q(Tensor(rng.normal(size=(500,)))).data
+        assert (out < 0).any()
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+
+class TestBNN:
+    def test_binary_weights_are_pm_one(self, rng):
+        q = BNNWeightQuantizer()
+        q.set_bits(1)
+        out = q(Tensor(rng.normal(size=(500,)))).data
+        assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+    def test_sign_ste_gradient_masked_outside_unit(self):
+        q = BNNWeightQuantizer()
+        q.set_bits(1)
+        w = Tensor(np.array([0.5, 3.0, -0.2, -4.0]), requires_grad=True)
+        q(w).sum().backward()
+        np.testing.assert_allclose(w.grad, [1.0, 0.0, 1.0, 0.0])
+
+    def test_multibit_fallback(self, rng):
+        q = BNNWeightQuantizer()
+        q.set_bits(3)
+        out = q(Tensor(rng.normal(size=(500,)))).data
+        assert len(np.unique(out)) > 2
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+    def test_binary_activations(self, rng):
+        q = BNNActivationQuantizer()
+        q.set_bits(1)
+        out = q(Tensor(rng.normal(size=(200,)))).data
+        assert set(np.unique(out)).issubset({-1.0, 1.0})
+
+
+class TestXNOR:
+    def test_per_channel_scales_are_mean_abs(self, rng):
+        q = XNORWeightQuantizer()
+        q.set_bits(1)
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = q(Tensor(w)).data
+        for f in range(4):
+            expected = np.abs(w[f]).mean()
+            np.testing.assert_allclose(np.abs(out[f]), expected, atol=1e-9)
+
+    def test_binary_channel_signs(self, rng):
+        q = XNORWeightQuantizer()
+        q.set_bits(1)
+        w = rng.normal(size=(2, 8))
+        out = q(Tensor(w)).data
+        big = np.abs(w) > 0.05
+        np.testing.assert_array_equal(np.sign(out)[big], np.sign(w)[big])
+
+    def test_multibit_per_channel_ranges(self, rng):
+        w = rng.normal(size=(4, 16))
+        w[0] *= 10.0  # one wide-range channel
+        out = per_channel_symmetric_quantize(Tensor(w), 3).data
+        for f in range(4):
+            assert np.abs(out[f]).max() <= np.abs(w[f]).max() + 1e-9
+        # Per-channel scaling keeps the narrow channels' resolution: the
+        # small channels are NOT collapsed to zero by channel 0's range.
+        assert np.abs(out[1:]).max() > 0
+
+    def test_per_channel_beats_per_tensor_on_skewed_weights(self, rng):
+        from repro.quantization import fake_quantize_symmetric
+
+        w = rng.normal(size=(4, 64))
+        w[0] *= 20.0
+        wt = Tensor(w)
+        pc = per_channel_symmetric_quantize(wt, 3).data
+        alpha = float(np.abs(w).max())
+        pt = fake_quantize_symmetric(wt, 3, alpha).data
+        assert ((w - pc) ** 2).mean() < ((w - pt) ** 2).mean()
+
+    def test_per_channel_gradient_flows(self, rng):
+        w = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        per_channel_symmetric_quantize(w, 3).sum().backward()
+        assert w.grad is not None
+        assert np.isfinite(w.grad).all()

@@ -1,0 +1,135 @@
+"""Static post-training quantization: ACIQ and KL calibration, observers."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import (
+    HistogramObserver,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+    aciq_clip,
+    kl_divergence_clip,
+    quantize_array_symmetric,
+)
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self, rng):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 5.0]))
+        obs.observe(np.array([-2.0, 3.0]))
+        assert obs.range() == (-2.0, 5.0)
+
+    def test_minmax_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().range()
+
+    def test_moving_average_smooths_outliers(self):
+        obs = MovingAverageMinMaxObserver(momentum=0.9)
+        for _ in range(10):
+            obs.observe(np.array([0.0, 1.0]))
+        obs.observe(np.array([0.0, 100.0]))
+        _, hi = obs.range()
+        assert hi < 15.0  # outlier heavily damped
+
+    def test_moving_average_first_observation(self):
+        obs = MovingAverageMinMaxObserver()
+        obs.observe(np.array([-1.0, 2.0]))
+        assert obs.range() == (-1.0, 2.0)
+
+    def test_histogram_total_mass(self, rng):
+        obs = HistogramObserver(n_bins=64)
+        obs.observe(rng.normal(size=500))
+        obs.observe(rng.normal(size=300))
+        counts, _ = obs.histogram()
+        assert counts.sum() == pytest.approx(800)
+
+    def test_histogram_rebins_on_wider_range(self, rng):
+        obs = HistogramObserver(n_bins=64)
+        obs.observe(rng.uniform(-1, 1, size=400))
+        obs.observe(np.array([10.0]))
+        counts, max_abs = obs.histogram()
+        assert max_abs == pytest.approx(10.0)
+        assert counts.sum() == pytest.approx(401, rel=0.02)
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            HistogramObserver().histogram()
+
+
+class TestACIQ:
+    def test_clip_below_max_for_gaussian(self, rng):
+        w = rng.normal(size=20000)
+        clip = aciq_clip(w, bits=4, dist="gauss")
+        assert 0 < clip < np.abs(w).max()
+
+    def test_clip_grows_with_bits(self, rng):
+        w = rng.normal(size=20000)
+        clips = [aciq_clip(w, bits=b, dist="gauss") for b in (2, 4, 8)]
+        assert clips[0] < clips[1] < clips[2]
+
+    def test_auto_prefers_laplace_for_laplace_data(self, rng):
+        w = rng.laplace(size=20000)
+        auto = aciq_clip(w, bits=4, dist="auto")
+        laplace = aciq_clip(w, bits=4, dist="laplace")
+        assert auto == pytest.approx(laplace)
+
+    def test_auto_prefers_gauss_for_gauss_data(self, rng):
+        w = rng.normal(size=20000)
+        auto = aciq_clip(w, bits=4, dist="auto")
+        gauss = aciq_clip(w, bits=4, dist="gauss")
+        assert auto == pytest.approx(gauss)
+
+    def test_scales_with_data(self, rng):
+        w = rng.normal(size=20000)
+        assert aciq_clip(w * 4, bits=4, dist="gauss") == pytest.approx(
+            4 * aciq_clip(w, bits=4, dist="gauss"), rel=1e-6
+        )
+
+    def test_unknown_dist_rejected(self, rng):
+        with pytest.raises(ValueError):
+            aciq_clip(rng.normal(size=10), bits=4, dist="cauchy")
+
+    def test_aciq_beats_max_clipping_in_mse(self, rng):
+        w = rng.normal(size=50000)
+        bits = 3
+        clip = aciq_clip(w, bits=bits, dist="gauss")
+        mse_aciq = ((w - quantize_array_symmetric(w, bits, clip)) ** 2).mean()
+        max_clip = np.abs(w).max()
+        mse_max = ((w - quantize_array_symmetric(w, bits, max_clip)) ** 2).mean()
+        assert mse_aciq < mse_max
+
+
+class TestKLCalibration:
+    def test_returns_threshold_within_range(self, rng):
+        obs = HistogramObserver(n_bins=512)
+        obs.observe(rng.normal(size=30000))
+        counts, max_abs = obs.histogram()
+        clip = kl_divergence_clip(counts, max_abs, bits=4)
+        assert 0 < clip <= max_abs
+
+    def test_clips_heavy_tail(self, rng):
+        # A distribution with a tiny far tail should be clipped well below
+        # its max.
+        data = np.concatenate([rng.normal(size=30000), [50.0]])
+        obs = HistogramObserver(n_bins=512)
+        obs.observe(data)
+        counts, max_abs = obs.histogram()
+        clip = kl_divergence_clip(counts, max_abs, bits=4)
+        assert clip < 0.5 * max_abs
+
+    def test_more_bits_clip_wider(self, rng):
+        obs = HistogramObserver(n_bins=512)
+        obs.observe(rng.normal(size=30000))
+        counts, max_abs = obs.histogram()
+        clip2 = kl_divergence_clip(counts, max_abs, bits=2)
+        clip8 = kl_divergence_clip(counts, max_abs, bits=8)
+        assert clip2 <= clip8 + 1e-9
+
+
+class TestQuantizeArray:
+    def test_grid_and_range(self, rng):
+        w = rng.normal(size=1000)
+        out = quantize_array_symmetric(w, 3, 1.5)
+        assert (np.abs(out) <= 1.5 + 1e-12).all()
+        assert len(np.unique(out)) <= 7
