@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Prove kill-and-resume determinism end to end through the CLI:
+#
+#   1. reference:   an uninterrupted micro-scale CCQ run (4 steps)
+#   2. interrupted: the same run stopped after 2 steps, checkpointed
+#   3. resumed:     --resume with the budget restored to 4 steps
+#
+# The resumed run must report the identical bit configuration and final
+# accuracy as the reference.  Finishes in about a minute on one CPU.
+#
+#   bash scripts/verify_resume.sh [workdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+COMMON=(run-ccq --task resnet20_cifar10 --scale micro --probes 2 --seed 0)
+
+echo "== 1/3 reference run (uninterrupted, 4 steps) =="
+python3 -m repro.cli "${COMMON[@]}" --max-steps 4 \
+    --checkpoint-dir "$WORK/reference" --output "$WORK/reference.json"
+
+echo "== 2/3 interrupted run (stops after 2 steps) =="
+python3 -m repro.cli "${COMMON[@]}" --max-steps 2 \
+    --checkpoint-dir "$WORK/resumable" --output /dev/null
+
+echo "== 3/3 resumed run (budget back to 4 steps) =="
+python3 -m repro.cli "${COMMON[@]}" --max-steps 4 --resume \
+    --checkpoint-dir "$WORK/resumable" --output "$WORK/resumed.json"
+
+python3 - "$WORK/reference.json" "$WORK/resumed.json" <<'EOF'
+import json
+import sys
+
+reference, resumed = (json.load(open(path)) for path in sys.argv[1:3])
+mismatches = [
+    key for key in ("bit_config", "final_accuracy", "compression")
+    if reference[key] != resumed[key]
+]
+if mismatches:
+    for key in mismatches:
+        print(f"MISMATCH {key}: reference={reference[key]!r} "
+              f"resumed={resumed[key]!r}")
+    sys.exit(1)
+print("OK: resumed run matches the uninterrupted reference bit-for-bit")
+EOF

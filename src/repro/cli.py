@@ -50,10 +50,13 @@ def _cmd_power(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_ccq(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     task = build_task(args.task, scale=args.scale)
     print(f"task: {task.name} (scale {args.scale})")
     print("pretraining float baseline...")
-    model, baseline = task.pretrained_model()
+    model, baseline = task.pretrained_model(cache_dir=args.checkpoint_dir)
     print(f"baseline accuracy: {baseline:.3f}")
 
     train, val = task.loaders()
@@ -71,6 +74,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
         target_compression=args.target_compression,
         max_steps=args.max_steps,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        max_retries=args.max_retries,
     )
     groups = None
     if args.block_granularity:
@@ -83,7 +88,9 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
     ccq = CCQQuantizer(
         model, train, val, config=config, policy=args.policy, groups=groups
     )
-    result = ccq.run()
+    if args.resume and ccq.store is not None and ccq.store.has_checkpoint():
+        print(f"resuming from checkpoint in {args.checkpoint_dir}")
+    result = ccq.run(resume=args.resume)
 
     for rec in result.records:
         print(
@@ -137,6 +144,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--block-granularity", action="store_true",
         help="compete at residual-block granularity instead of per layer",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir",
+        help="journal the run and write atomic checkpoints here "
+             "(enables crash-safe resume; also caches the pretrained "
+             "float baseline)",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir "
+             "(starts fresh if none exists)",
+    )
+    p_run.add_argument(
+        "--max-retries", type=int, default=2,
+        help="rollback retries for a diverged recovery stage before the "
+             "step is skipped (default: 2)",
     )
     p_run.add_argument("--output", help="write a JSON summary here")
     p_run.set_defaults(func=_cmd_run_ccq)

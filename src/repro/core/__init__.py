@@ -11,6 +11,8 @@ from .compression import (
     compression_ratio,
     model_size_report,
 )
+from .resilience import DivergenceError, RetryPolicy
+from .runstate import RunJournal, RunStateStore
 from .schedule import DEFAULT_LADDER, BitLadder
 from .training import EvalResult, evaluate, make_sgd, train_epoch
 
@@ -40,4 +42,8 @@ __all__ = [
     "evaluate",
     "train_epoch",
     "make_sgd",
+    "DivergenceError",
+    "RetryPolicy",
+    "RunJournal",
+    "RunStateStore",
 ]

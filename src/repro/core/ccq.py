@@ -18,32 +18,60 @@ policy (or an already-converted model) and only ever manipulates per-layer
 bit widths.  Passing ``target_config`` pins each layer's final precision,
 which is how Table I forces CCQ to reach the exact ``fp-3b-fp``
 configuration of the one-shot baselines, but gradually.
+
+The driver is also *fault tolerant*.  With ``CCQConfig.checkpoint_dir``
+set, every step is journaled (append-only JSONL) and followed by an
+atomic checkpoint of the complete search state — model, bit config,
+Hedge weights, λ position, step counter, optimizer slots and RNG states
+— so an interrupted run resumed with ``run(resume=True)`` reproduces the
+uninterrupted trajectory bit-for-bit.  A collaboration stage whose loss
+or gradients diverge (NaN/Inf) is rolled back to the pre-step snapshot
+and retried with a decayed learning rate; after ``max_retries`` failures
+the winner's bit drop is reverted, the expert is put to sleep, the skip
+is journaled, and the search continues instead of dying.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..nn.data import DataLoader
 from ..nn.modules import Module
+from ..nn.serialization import CheckpointError
 from ..quantization.policy import QuantPolicy
 from ..quantization.qmodules import (
     get_bit_config,
     quantize_model,
     quantized_layers,
+    set_bit_config,
 )
 from .collaboration import RecoveryConfig, RecoveryReport, recover
 from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
 from .compression import model_size_report
+from .resilience import DivergenceError, RetryPolicy
+from .runstate import (
+    RunStateStore,
+    eval_from_json,
+    eval_to_json,
+    get_rng_state,
+    record_from_json,
+    record_to_json,
+    set_rng_state,
+)
 from .schedule import DEFAULT_LADDER, BitLadder
 from .training import EvalResult, evaluate, make_sgd, train_epoch
 
 __all__ = ["CCQConfig", "StepRecord", "CCQResult", "CCQQuantizer"]
 
 BitTarget = Optional[int]
+
+# Loss credited to a probe whose evaluation diverged: large enough that
+# Hedge treats the candidate as a terrible move, finite so the
+# exponential-weights update stays well defined.
+PROBE_DIVERGENCE_PENALTY = 1e3
 
 
 @dataclass(frozen=True)
@@ -79,6 +107,15 @@ class CCQConfig:
     # size_metric="macs"; required in that mode.
     input_shape: Optional[Tuple[int, int, int]] = None
     seed: int = 0
+    # -- resilience ------------------------------------------------------
+    # Directory for the run journal + atomic checkpoints (None disables
+    # both; the run is then neither resumable nor crash-safe).
+    checkpoint_dir: Optional[str] = None
+    # How many times a diverged collaboration stage is rolled back and
+    # retried (with the recovery LR decayed by retry_lr_decay each time)
+    # before the step is skipped and the expert put to sleep.
+    max_retries: int = 2
+    retry_lr_decay: float = 0.5
 
 
 @dataclass
@@ -201,6 +238,22 @@ class CCQQuantizer:
                     self.model, self.config.input_shape
                 )
             }
+        # -- resilience state -------------------------------------------
+        self.retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            lr_decay=self.config.retry_lr_decay,
+        )
+        self.store: Optional[RunStateStore] = (
+            RunStateStore(self.config.checkpoint_dir)
+            if self.config.checkpoint_dir is not None
+            else None
+        )
+        self._forced_asleep: Set[int] = set()
+        self._records: List[StepRecord] = []
+        self._step = 0
+        self._save_seq = 0
+        self._best_accuracy = 0.0
+        self._initial_eval: Optional[EvalResult] = None
 
     # -- expert bookkeeping -----------------------------------------------------
 
@@ -264,6 +317,8 @@ class CCQQuantizer:
 
     def _is_awake(self, index: int) -> bool:
         """Awake = can still be quantized one more level toward its target."""
+        if index in self._forced_asleep:
+            return False  # retired by the retry policy after repeated failures
         target = self._target_bits(index)
         if target is None:
             return False
@@ -337,6 +392,155 @@ class CCQQuantizer:
         self.probe_forward_passes += 1
         return result.loss
 
+    def _guarded_probe(self, index: int) -> float:
+        """A probe that survives divergence.
+
+        A candidate whose evaluation goes NaN/Inf is simply a terrible
+        candidate: journal the event and return a large finite penalty
+        loss so the competition demotes the expert instead of the whole
+        search dying mid-probe.
+        """
+        try:
+            return self._probe_loss(index)
+        except DivergenceError as err:
+            if self.store is not None:
+                self.store.journal.append(
+                    "probe_divergence",
+                    step=self._step,
+                    expert=self.experts[index][0],
+                    penalty=PROBE_DIVERGENCE_PENALTY,
+                    **err.context(),
+                )
+            return PROBE_DIVERGENCE_PENALTY
+
+    # -- snapshots / checkpoints ------------------------------------------------
+
+    def _capture_snapshot(self) -> Dict[str, Any]:
+        """In-memory pre-step snapshot for divergence rollback."""
+        return {
+            "model": self.model.state_dict(),
+            "optim": self.optimizer.state_dict(),
+            "bits": get_bit_config(self.model),
+        }
+
+    def _restore_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer.load_state_dict(snapshot["optim"])
+        set_bit_config(self.model, snapshot["bits"])
+
+    def _fingerprint(self) -> Dict[str, Any]:
+        """The trajectory-defining configuration, JSON-normalized.
+
+        A resumed run must match this exactly; budget knobs
+        (``max_steps``, ``target_compression``) are deliberately
+        excluded so a finished run can be resumed with a larger budget.
+        """
+        cfg = self.config
+        lam = cfg.lambda_schedule
+        return {
+            "layers": [name for name, _ in self.layers],
+            "experts": [name for name, _ in self.experts],
+            "target_config": (
+                None if self.target_config is None
+                else {k: self.target_config[k]
+                      for k in sorted(self.target_config)}
+            ),
+            "ladder": list(cfg.ladder.levels),
+            "gamma": cfg.gamma,
+            "probes_per_step": cfg.probes_per_step,
+            "probe_batches": cfg.probe_batches,
+            "lambda_schedule": (
+                None if lam is None
+                else [lam.start, lam.end, lam.decay_steps]
+            ),
+            "recovery": asdict(cfg.recovery),
+            "lr": cfg.lr,
+            "momentum": cfg.momentum,
+            "weight_decay": cfg.weight_decay,
+            "initial_recovery_epochs": cfg.initial_recovery_epochs,
+            "initial_recovery_adaptive": cfg.initial_recovery_adaptive,
+            "quantize_activations": cfg.quantize_activations,
+            "size_metric": cfg.size_metric,
+            "seed": cfg.seed,
+            "max_retries": cfg.max_retries,
+            "retry_lr_decay": cfg.retry_lr_decay,
+        }
+
+    @staticmethod
+    def _loader_rng_state(loader: Any) -> Optional[Dict[str, Any]]:
+        rng = getattr(loader, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            return get_rng_state(rng)
+        return None
+
+    @staticmethod
+    def _dataset_rng_state(loader: Any) -> Optional[Dict[str, Any]]:
+        rng = getattr(getattr(loader, "dataset", None), "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            return get_rng_state(rng)
+        return None
+
+    def _checkpoint(self) -> None:
+        """Atomically persist the complete search state (if enabled)."""
+        if self.store is None:
+            return
+        self._save_seq += 1
+        state = {
+            "version": 1,
+            "fingerprint": self._fingerprint(),
+            "step": self._step,
+            "best_accuracy": self._best_accuracy,
+            "probe_forward_passes": self.probe_forward_passes,
+            "forced_asleep": sorted(self._forced_asleep),
+            "initial_eval": eval_to_json(self._initial_eval),
+            "records": [record_to_json(r) for r in self._records],
+            "hedge": self.competition.state_dict(),
+            "train_loader_rng": self._loader_rng_state(self.train_loader),
+            "train_dataset_rng": self._dataset_rng_state(self.train_loader),
+        }
+        self.store.save(self.model, self.optimizer, state, seq=self._save_seq)
+        self.store.journal.append(
+            "checkpoint", step=self._step, save_seq=self._save_seq
+        )
+
+    def _restore_from_store(self) -> EvalResult:
+        """Load the latest checkpoint and rewind every RNG to match."""
+        assert self.store is not None
+        state = self.store.load(self.model, self.optimizer)
+        saved_fp = state.get("fingerprint", {})
+        current_fp = self._fingerprint()
+        if saved_fp != current_fp:
+            mismatched = sorted(
+                key for key in set(saved_fp) | set(current_fp)
+                if saved_fp.get(key) != current_fp.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint in {self.store.directory} was written by a "
+                f"run with a different configuration; mismatched keys: "
+                f"{mismatched}"
+            )
+        self._step = int(state["step"])
+        self._best_accuracy = float(state["best_accuracy"])
+        self.probe_forward_passes = int(state["probe_forward_passes"])
+        self._forced_asleep = set(
+            int(i) for i in state.get("forced_asleep", [])
+        )
+        self._initial_eval = eval_from_json(state["initial_eval"])
+        self._records = [record_from_json(r) for r in state["records"]]
+        self.competition.load_state_dict(state["hedge"])
+        loader_rng = state.get("train_loader_rng")
+        if loader_rng is not None and hasattr(self.train_loader, "_rng"):
+            set_rng_state(self.train_loader._rng, loader_rng)
+        dataset_rng = state.get("train_dataset_rng")
+        dataset = getattr(self.train_loader, "dataset", None)
+        if dataset_rng is not None and hasattr(dataset, "_rng"):
+            set_rng_state(dataset._rng, dataset_rng)
+        self._save_seq = int(state.get("save_seq", 0))
+        self.store.journal.append(
+            "resumed", step=self._step, save_seq=self._save_seq
+        )
+        return self._initial_eval
+
     # -- the main loop ------------------------------------------------------------
 
     def initialize(self) -> EvalResult:
@@ -370,19 +574,155 @@ class CCQQuantizer:
                 )
         return evaluate(self.model, self.val_loader)
 
-    def run(self) -> CCQResult:
-        """Execute Algorithm 1 end to end and return the full trace."""
-        initial = self.initialize()
-        records: List[StepRecord] = []
-        best_accuracy = initial.accuracy
-        step = 0
+    def _execute_step(self, step: int) -> Optional[StepRecord]:
+        """One quantization step with rollback-on-divergence.
+
+        Returns the completed :class:`StepRecord`, or ``None`` when every
+        retry failed and the step degraded to a journaled skip (the
+        winner's bit drop reverted, the expert put to sleep).
+        """
+        store = self.store
+        try:
+            pre = evaluate(self.model, self.val_loader)
+        except DivergenceError as err:
+            # The *standing* model diverged before we touched anything —
+            # there is no snapshot to roll back to; journal and surface.
+            if store is not None:
+                store.journal.append(
+                    "fatal_divergence", step=step, **err.context()
+                )
+            raise
+        result = self.competition.run_step(
+            evaluate_candidate=self._guarded_probe,
+            awake=self._awake_mask(),
+            layer_sizes=self._layer_sizes(),
+            step=step,
+        )
+        winner = result.winner
+        name, _ = self.experts[winner]
+        from_bits = self._current_bits(winner)
+        to_bits = self._next_bits(winner)
+
+        snapshot = self._capture_snapshot()
+        post: Optional[EvalResult] = None
+        report: Optional[RecoveryReport] = None
+        for attempt in self.retry_policy.attempts():
+            self._set_bits(winner, to_bits)
+            self.optimizer.lr = self.retry_policy.lr_for(
+                attempt, self._base_lr
+            )
+            on_epoch = None
+            if store is not None:
+                on_epoch = (
+                    lambda epoch, acc, loss, _attempt=attempt:
+                    store.journal.append(
+                        "recover_epoch", step=step, layer=name,
+                        attempt=_attempt, epoch=epoch,
+                        accuracy=acc, train_loss=loss,
+                    )
+                )
+            try:
+                post = evaluate(self.model, self.val_loader)
+                report = recover(
+                    self.model,
+                    self.train_loader,
+                    self.val_loader,
+                    self.optimizer,
+                    self.config.recovery,
+                    reference_accuracy=max(
+                        self._best_accuracy, pre.accuracy
+                    ),
+                    on_epoch=on_epoch,
+                )
+                break
+            except DivergenceError as err:
+                self._restore_snapshot(snapshot)
+                if store is not None:
+                    store.journal.append(
+                        "recovery_retry", step=step, layer=name,
+                        attempt=attempt,
+                        retries_left=self.config.max_retries - attempt,
+                        lr=self.retry_policy.lr_for(
+                            attempt + 1, self._base_lr
+                        ),
+                        **err.context(),
+                    )
+        else:
+            # All attempts diverged: the snapshot restore above already
+            # reverted the bit drop; retire the expert and move on.
+            self._forced_asleep.add(winner)
+            if store is not None:
+                store.journal.append(
+                    "expert_skipped", step=step, layer=name,
+                    from_bits=from_bits, to_bits=to_bits,
+                    attempts=self.retry_policy.max_attempts,
+                )
+            return None
+
+        self._best_accuracy = max(self._best_accuracy, report.end_accuracy)
+        record = StepRecord(
+            step=step,
+            layer_index=winner,
+            layer_name=name,
+            from_bits=from_bits,
+            to_bits=to_bits,
+            lambda_used=result.lambda_used,
+            pre_accuracy=pre.accuracy,
+            post_quant_accuracy=post.accuracy,
+            recovered_accuracy=report.end_accuracy,
+            recovery=report,
+            competition=result,
+            compression=model_size_report(self.model).compression,
+        )
+        if store is not None:
+            store.journal.append(
+                "step_complete", record=record_to_json(record)
+            )
+        return record
+
+    def run(self, resume: bool = False) -> CCQResult:
+        """Execute Algorithm 1 end to end and return the full trace.
+
+        With ``resume=True`` (requires ``CCQConfig.checkpoint_dir``) the
+        run restarts from the last atomic checkpoint if one exists, and
+        continues the interrupted trajectory exactly; otherwise it starts
+        fresh.
+        """
+        resumed = False
+        if resume:
+            if self.store is None:
+                raise ValueError(
+                    "run(resume=True) requires CCQConfig.checkpoint_dir"
+                )
+            if self.store.has_checkpoint():
+                self._restore_from_store()
+                resumed = True
+        if not resumed:
+            if self.store is not None:
+                self.store.journal.append(
+                    "run_start", fingerprint=self._fingerprint()
+                )
+            self._records = []
+            self._forced_asleep = set()
+            self._step = 0
+            initial = self.initialize()
+            self._initial_eval = initial
+            self._best_accuracy = initial.accuracy
+            if self.store is not None:
+                self.store.journal.append(
+                    "initialized",
+                    accuracy=initial.accuracy, loss=initial.loss,
+                )
+            self._checkpoint()
+
+        records = self._records
         while True:
             awake = self._awake_mask()
             if not any(awake):
                 break
             if (
                 self.config.max_steps is not None
-                and step >= self.config.max_steps
+                and self._step >= self.config.max_steps
             ):
                 break
             if self.config.target_compression is not None:
@@ -390,54 +730,24 @@ class CCQQuantizer:
                 if current >= self.config.target_compression:
                     break
 
-            pre = evaluate(self.model, self.val_loader)
-            result = self.competition.run_step(
-                evaluate_candidate=self._probe_loss,
-                awake=awake,
-                layer_sizes=self._layer_sizes(),
-                step=step,
-            )
-            winner = result.winner
-            name, _ = self.experts[winner]
-            from_bits = self._current_bits(winner)
-            to_bits = self._next_bits(winner)
-            self._set_bits(winner, to_bits)
-
-            post = evaluate(self.model, self.val_loader)
-            self.optimizer.lr = self._base_lr
-            reference = max(best_accuracy, pre.accuracy)
-            report = recover(
-                self.model,
-                self.train_loader,
-                self.val_loader,
-                self.optimizer,
-                self.config.recovery,
-                reference_accuracy=reference,
-            )
-            best_accuracy = max(best_accuracy, report.end_accuracy)
-            records.append(
-                StepRecord(
-                    step=step,
-                    layer_index=winner,
-                    layer_name=name,
-                    from_bits=from_bits,
-                    to_bits=to_bits,
-                    lambda_used=result.lambda_used,
-                    pre_accuracy=pre.accuracy,
-                    post_quant_accuracy=post.accuracy,
-                    recovered_accuracy=report.end_accuracy,
-                    recovery=report,
-                    competition=result,
-                    compression=model_size_report(self.model).compression,
-                )
-            )
-            step += 1
+            record = self._execute_step(self._step)
+            if record is not None:
+                records.append(record)
+                self._step += 1
+            self._checkpoint()
 
         final = evaluate(self.model, self.val_loader)
+        if self.store is not None:
+            self.store.journal.append(
+                "run_complete",
+                steps=self._step,
+                accuracy=final.accuracy,
+                compression=model_size_report(self.model).compression,
+            )
         return CCQResult(
             records=records,
             final_eval=final,
-            initial_eval=initial,
+            initial_eval=self._initial_eval,
             bit_config=get_bit_config(self.model),
             compression=model_size_report(self.model).compression,
             probe_forward_passes=self.probe_forward_passes,

@@ -16,7 +16,7 @@ recovered (Section III-B(b) and IV-f).  Two recovery modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional
+from typing import Callable, List, Literal, Optional
 
 from ..nn.data import DataLoader
 from ..nn.modules import Module
@@ -71,12 +71,18 @@ def recover(
     config: RecoveryConfig,
     reference_accuracy: float,
     scheduler: Optional[LRScheduler] = None,
+    on_epoch: Optional[Callable[[int, float, float], None]] = None,
 ) -> RecoveryReport:
     """Run the collaboration stage and report the recovery trajectory.
 
     ``reference_accuracy`` is the validation accuracy before the layer was
     quantized; the adaptive mode fine-tunes until the model is back within
     ``config.slack`` of it (or hits ``config.max_epochs``).
+
+    ``on_epoch(epoch_index, val_accuracy, train_loss)`` is invoked after
+    every completed fine-tuning epoch — the fault-tolerant driver uses it
+    to journal recovery progress, so an interrupted run's log shows how
+    far the collaboration stage got.
     """
     if scheduler is None and config.use_hybrid_lr:
         scheduler = HybridPlateauCosine(
@@ -113,6 +119,8 @@ def recover(
         train_losses.append(train_loss)
         if scheduler is not None:
             lrs.append(scheduler.step(metric=current.accuracy))
+        if on_epoch is not None:
+            on_epoch(epochs_used, current.accuracy, train_loss)
 
     recovered = target is None or current.accuracy >= target
     return RecoveryReport(

@@ -161,6 +161,47 @@ class HedgeCompetition:
         mixed = (1.0 - lam) * p + lam * sizes / total
         return mixed / mixed.sum()
 
+    # -- state (for crash-safe checkpoints) ----------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot the full competition state as JSON-ready values.
+
+        Includes the expert weights, the loss history backing the
+        ``"auto"`` loss scale, and the RNG state, so a restored
+        competition draws the *identical* probe and winner sequence the
+        uninterrupted one would have drawn.
+        """
+        return {
+            "version": 1,
+            "n_layers": self.n_layers,
+            "gamma": self.gamma,
+            "probes_per_step": self.probes_per_step,
+            "loss_scale": self.loss_scale,
+            "weights": [float(w) for w in self.weights],
+            "loss_history": [float(x) for x in self._loss_history],
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        n = int(state["n_layers"])
+        if n != self.n_layers:
+            raise ValueError(
+                f"competition state is for {n} experts, "
+                f"this competition has {self.n_layers}"
+            )
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        if weights.shape != (self.n_layers,):
+            raise ValueError(
+                f"expected {self.n_layers} expert weights, "
+                f"got shape {weights.shape}"
+            )
+        self.weights = weights
+        self._loss_history = [float(x) for x in state["loss_history"]]
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            self.rng.bit_generator.state = rng_state
+
     # -- the game ------------------------------------------------------------
 
     def _scaled(self, loss: float) -> float:

@@ -1,0 +1,139 @@
+"""Divergence detection and bounded-retry policies for long CCQ runs.
+
+A multi-hour gradual-quantization search must not die (or, worse,
+silently keep optimizing garbage) because one recovery stage produced a
+NaN loss.  This module provides the two primitives the fault-tolerant
+driver is built from:
+
+* :class:`DivergenceError` — a typed error raised by the training /
+  evaluation loops the moment a loss or gradient goes non-finite, so the
+  caller can distinguish "the numerics blew up" from a genuine bug;
+* :class:`RetryPolicy` — a bounded retry schedule with learning-rate
+  backoff: roll the model back to the pre-step snapshot, halve the
+  recovery LR, and try the collaboration stage again, up to
+  ``max_retries`` times before degrading gracefully.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "DivergenceError",
+    "RetryPolicy",
+    "ensure_finite",
+    "ensure_all_finite",
+]
+
+
+class DivergenceError(RuntimeError):
+    """A loss or gradient went NaN/Inf during training or evaluation.
+
+    Carries enough context (which stage, which batch, the offending
+    value) for the run journal to record a useful post-mortem entry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str = "",
+        batch_index: Optional[int] = None,
+        value: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.batch_index = batch_index
+        self.value = value
+
+    def context(self) -> dict:
+        """A JSON-ready description of the divergence for the journal."""
+        return {
+            "message": str(self),
+            "stage": self.stage,
+            "batch_index": self.batch_index,
+            "value": None if self.value is None or math.isfinite(self.value)
+            else repr(self.value),
+        }
+
+
+def ensure_finite(
+    value: float,
+    what: str,
+    *,
+    stage: str = "",
+    batch_index: Optional[int] = None,
+) -> float:
+    """Return ``value`` unchanged, raising :class:`DivergenceError` if it
+    is NaN or infinite."""
+    if not math.isfinite(value):
+        raise DivergenceError(
+            f"{what} diverged to {value!r}"
+            + (f" at batch {batch_index}" if batch_index is not None else "")
+            + (f" during {stage}" if stage else ""),
+            stage=stage,
+            batch_index=batch_index,
+            value=float(value),
+        )
+    return value
+
+
+def ensure_all_finite(
+    array: np.ndarray,
+    what: str,
+    *,
+    stage: str = "",
+    batch_index: Optional[int] = None,
+) -> None:
+    """Raise :class:`DivergenceError` if any element of ``array`` is
+    NaN or infinite."""
+    if not np.isfinite(array).all():
+        bad = array[~np.isfinite(array)]
+        raise DivergenceError(
+            f"{what} contains {bad.size} non-finite values"
+            + (f" at batch {batch_index}" if batch_index is not None else "")
+            + (f" during {stage}" if stage else ""),
+            stage=stage,
+            batch_index=batch_index,
+            value=float(bad.flat[0]),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with learning-rate backoff for a failed stage.
+
+    ``attempts()`` yields ``max_retries + 1`` attempt indices (the first
+    is the original try); ``lr_for(attempt, base_lr)`` decays the
+    learning rate by ``lr_decay`` per retry, so each rollback retries the
+    collaboration stage from the identical snapshot but with a gentler
+    optimizer.
+    """
+
+    max_retries: int = 2
+    lr_decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError(
+                f"lr_decay must be in (0, 1], got {self.lr_decay}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def attempts(self) -> Iterator[int]:
+        return iter(range(self.max_attempts))
+
+    def lr_for(self, attempt: int, base_lr: float) -> float:
+        """Learning rate for attempt ``attempt`` (0 = the original try)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return base_lr * (self.lr_decay ** attempt)

@@ -1,0 +1,413 @@
+"""Run journaling and crash-safe checkpointing for CCQ searches.
+
+A CCQ run is a long alternating search (probe → quantize → recover,
+repeated for tens of steps); this module makes that search *resumable*:
+
+* :class:`RunJournal` — an append-only JSONL log of everything that
+  happens (steps, retries, skips, checkpoints).  Each line is one JSON
+  object with an ``event`` tag and a monotonically increasing ``seq``;
+  the reader tolerates a torn final line, which is exactly what a crash
+  mid-append leaves behind.
+* :class:`RunStateStore` — atomic checkpoints of the *complete* search
+  state: model parameters + per-layer bit config (via
+  ``repro.nn.serialization``), optimizer slot state, Hedge expert
+  weights, λ-schedule position, step counter and NumPy RNG states.  The
+  commit point is a single ``os.replace`` of ``state.json``; the model /
+  optimizer archives it references are written first, so a crash at any
+  instant leaves either the previous checkpoint or the new one — never a
+  torn hybrid.
+
+The serialized trace is rich enough that a run interrupted at an
+arbitrary step and resumed from the store reproduces the uninterrupted
+run's trajectory bit-for-bit (same winners, same bit configs, same
+accuracies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.optim import Optimizer
+from ..nn.modules import Module
+from ..nn.serialization import (
+    CheckpointError,
+    atomic_savez,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .collaboration import RecoveryReport
+from .competition import CompetitionResult
+from .training import EvalResult
+
+__all__ = [
+    "RunJournal",
+    "RunStateStore",
+    "get_rng_state",
+    "set_rng_state",
+    "eval_to_json",
+    "eval_from_json",
+    "record_to_json",
+    "record_from_json",
+]
+
+
+# -- RNG state ----------------------------------------------------------------
+
+def get_rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's bit-generator state as a JSON-serializable dict."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a state captured by :func:`get_rng_state`."""
+    rng.bit_generator.state = state
+
+
+# -- JSON codecs --------------------------------------------------------------
+
+def eval_to_json(result: EvalResult) -> Dict[str, Any]:
+    return {
+        "loss": result.loss,
+        "accuracy": result.accuracy,
+        "n_samples": result.n_samples,
+    }
+
+
+def eval_from_json(data: Dict[str, Any]) -> EvalResult:
+    return EvalResult(
+        loss=float(data["loss"]),
+        accuracy=float(data["accuracy"]),
+        n_samples=int(data["n_samples"]),
+    )
+
+
+def _recovery_to_json(report: RecoveryReport) -> Dict[str, Any]:
+    return {
+        "epochs_used": report.epochs_used,
+        "start_accuracy": report.start_accuracy,
+        "end_accuracy": report.end_accuracy,
+        "target_accuracy": report.target_accuracy,
+        "recovered": report.recovered,
+        "accuracy_history": list(report.accuracy_history),
+        "train_loss_history": list(report.train_loss_history),
+        "lr_history": list(report.lr_history),
+    }
+
+
+def _recovery_from_json(data: Dict[str, Any]) -> RecoveryReport:
+    return RecoveryReport(
+        epochs_used=int(data["epochs_used"]),
+        start_accuracy=float(data["start_accuracy"]),
+        end_accuracy=float(data["end_accuracy"]),
+        target_accuracy=(
+            None if data["target_accuracy"] is None
+            else float(data["target_accuracy"])
+        ),
+        recovered=bool(data["recovered"]),
+        accuracy_history=[float(x) for x in data["accuracy_history"]],
+        train_loss_history=[float(x) for x in data["train_loss_history"]],
+        lr_history=[float(x) for x in data["lr_history"]],
+    )
+
+
+def _competition_to_json(result: CompetitionResult) -> Dict[str, Any]:
+    return {
+        "winner": result.winner,
+        "probabilities": [float(x) for x in result.probabilities],
+        "learned_probabilities": [
+            float(x) for x in result.learned_probabilities
+        ],
+        "probe_losses": {
+            str(k): float(v) for k, v in result.probe_losses.items()
+        },
+        "probes": list(result.probes),
+        "lambda_used": result.lambda_used,
+    }
+
+
+def _competition_from_json(data: Dict[str, Any]) -> CompetitionResult:
+    return CompetitionResult(
+        winner=int(data["winner"]),
+        probabilities=np.asarray(data["probabilities"], dtype=np.float64),
+        learned_probabilities=np.asarray(
+            data["learned_probabilities"], dtype=np.float64
+        ),
+        probe_losses={
+            int(k): float(v) for k, v in data["probe_losses"].items()
+        },
+        probes=[int(x) for x in data["probes"]],
+        lambda_used=float(data["lambda_used"]),
+    )
+
+
+def record_to_json(record: "Any") -> Dict[str, Any]:
+    """Serialize a :class:`~repro.core.ccq.StepRecord` to JSON values."""
+    return {
+        "step": record.step,
+        "layer_index": record.layer_index,
+        "layer_name": record.layer_name,
+        "from_bits": record.from_bits,
+        "to_bits": record.to_bits,
+        "lambda_used": record.lambda_used,
+        "pre_accuracy": record.pre_accuracy,
+        "post_quant_accuracy": record.post_quant_accuracy,
+        "recovered_accuracy": record.recovered_accuracy,
+        "recovery": _recovery_to_json(record.recovery),
+        "competition": _competition_to_json(record.competition),
+        "compression": record.compression,
+    }
+
+
+def record_from_json(data: Dict[str, Any]) -> "Any":
+    """Rebuild a :class:`~repro.core.ccq.StepRecord` from JSON values."""
+    from .ccq import StepRecord  # deferred: ccq imports this module
+
+    return StepRecord(
+        step=int(data["step"]),
+        layer_index=int(data["layer_index"]),
+        layer_name=str(data["layer_name"]),
+        from_bits=int(data["from_bits"]),
+        to_bits=int(data["to_bits"]),
+        lambda_used=float(data["lambda_used"]),
+        pre_accuracy=float(data["pre_accuracy"]),
+        post_quant_accuracy=float(data["post_quant_accuracy"]),
+        recovered_accuracy=float(data["recovered_accuracy"]),
+        recovery=_recovery_from_json(data["recovery"]),
+        competition=_competition_from_json(data["competition"]),
+        compression=float(data["compression"]),
+    )
+
+
+# -- the journal --------------------------------------------------------------
+
+class RunJournal:
+    """Append-only JSONL log of run events.
+
+    Every append is flushed and fsynced before returning, so the journal
+    survives a hard kill up to (and including) the last completed write.
+    A crash *during* a write leaves a torn final line; :meth:`events`
+    silently drops it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._repair_torn_tail()
+        self._seq = self._next_seq()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate the file to its last complete, parseable line.
+
+        A crash mid-append leaves a torn final line with no newline;
+        appending after it would concatenate the next event onto the
+        garbage, corrupting *that* event too.  Truncating on open keeps
+        the append path simple and the file always line-valid.
+        """
+        if not self.path.exists():
+            return
+        keep = 0
+        with open(self.path, "rb") as f:
+            for raw in f:
+                if not raw.endswith(b"\n"):
+                    break
+                try:
+                    json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                keep += len(raw)
+        if keep < self.path.stat().st_size:
+            with open(self.path, "r+b") as f:
+                f.truncate(keep)
+                f.flush()
+                os.fsync(f.fileno())
+
+    def _next_seq(self) -> int:
+        if not self.path.exists():
+            return 0
+        events = self.events()
+        if not events:
+            return 0
+        return max(int(e.get("seq", -1)) for e in events) + 1
+
+    def append(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Durably append one event line and return it."""
+        entry = {"seq": self._seq, "event": event, **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+        self._seq += 1
+        return entry
+
+    def events(self, event: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All parseable journal entries, optionally filtered by tag."""
+        if not self.path.exists():
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn tail from a crash mid-append; anything after
+                    # it cannot exist (appends are sequential).
+                    break
+                entries.append(entry)
+        if event is not None:
+            entries = [e for e in entries if e.get("event") == event]
+        return entries
+
+
+# -- optimizer state <-> npz --------------------------------------------------
+
+def _flatten_optimizer_state(state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Flatten an ``Optimizer.state_dict()`` into npz-storable arrays.
+
+    Scalars become 0-d arrays under ``scalar.<key>``; per-parameter slot
+    dicts become ``<slot>.<index>`` arrays.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if isinstance(value, dict):
+            for sub, arr in value.items():
+                arrays[f"{key}.{sub}"] = np.asarray(arr)
+        else:
+            arrays[f"scalar.{key}"] = np.asarray(value)
+    return arrays
+
+
+def _unflatten_optimizer_state(
+    arrays: Dict[str, np.ndarray]
+) -> Dict[str, Any]:
+    state: Dict[str, Any] = {}
+    for key, value in arrays.items():
+        head, _, tail = key.partition(".")
+        if head == "scalar":
+            state[tail] = value.item()
+        else:
+            state.setdefault(head, {})[tail] = value
+    return state
+
+
+# -- the store ----------------------------------------------------------------
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class RunStateStore:
+    """Checkpoint directory layout and atomic save/load for one run.
+
+    Layout::
+
+        <directory>/
+            journal.jsonl        append-only event log
+            state.json           the commit point (JSON search state)
+            model-<seq>.npz      model params + bit config at that save
+            optim-<seq>.npz      optimizer slot state at that save
+
+    ``state.json`` names the archives belonging to it, and is replaced
+    atomically *after* they are fully written; superseded archives are
+    pruned afterwards.  Loading therefore always sees a consistent
+    (state, model, optimizer) triple.
+    """
+
+    STATE_FILE = "state.json"
+    JOURNAL_FILE = "journal.jsonl"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal = RunJournal(self.directory / self.JOURNAL_FILE)
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / self.STATE_FILE
+
+    def has_checkpoint(self) -> bool:
+        return self.state_path.exists()
+
+    def save(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        state: Dict[str, Any],
+        seq: int,
+    ) -> None:
+        """Atomically persist one complete search-state snapshot.
+
+        ``state`` must be JSON-serializable; ``seq`` tags the archive
+        files (any monotonically increasing counter works).
+        """
+        model_file = f"model-{seq:06d}.npz"
+        optim_file = f"optim-{seq:06d}.npz"
+        save_checkpoint(model, self.directory / model_file)
+        atomic_savez(
+            self.directory / optim_file,
+            **_flatten_optimizer_state(optimizer.state_dict()),
+        )
+        payload = dict(state)
+        payload["model_file"] = model_file
+        payload["optim_file"] = optim_file
+        payload["save_seq"] = seq
+        _atomic_write_text(
+            self.state_path, json.dumps(payload, indent=2)
+        )
+        self._prune(keep={model_file, optim_file})
+
+    def _prune(self, keep: set) -> None:
+        for path in self.directory.glob("model-*.npz"):
+            if path.name not in keep:
+                path.unlink(missing_ok=True)
+        for path in self.directory.glob("optim-*.npz"):
+            if path.name not in keep:
+                path.unlink(missing_ok=True)
+
+    def load(
+        self, model: Module, optimizer: Optimizer
+    ) -> Dict[str, Any]:
+        """Restore the latest snapshot into ``model`` and ``optimizer``
+        and return the JSON search state."""
+        if not self.has_checkpoint():
+            raise CheckpointError(
+                f"no checkpoint found in {self.directory} "
+                f"(missing {self.STATE_FILE})"
+            )
+        with open(self.state_path, "r", encoding="utf-8") as f:
+            state = json.load(f)
+        model_path = self.directory / state["model_file"]
+        optim_path = self.directory / state["optim_file"]
+        for path in (model_path, optim_path):
+            if not path.exists():
+                raise CheckpointError(
+                    f"checkpoint state {self.state_path} references "
+                    f"missing archive {path}"
+                )
+        load_checkpoint(model, model_path)
+        with np.load(str(optim_path)) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        optimizer.load_state_dict(_unflatten_optimizer_state(arrays))
+        return state

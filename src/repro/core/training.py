@@ -24,6 +24,7 @@ from ..quantization.qmodules import (
     collect_quantizer_parameters,
     collect_regularization,
 )
+from .resilience import ensure_all_finite, ensure_finite
 
 __all__ = [
     "EvalResult",
@@ -58,11 +59,15 @@ def evaluate(
     model: Module,
     loader: DataLoader,
     max_batches: Optional[int] = None,
+    check_divergence: bool = True,
 ) -> EvalResult:
     """Feed-forward evaluation: mean loss and top-1 accuracy.
 
     This is the cheap operation the CCQ competition leans on — a pure
     forward pass (``no_grad``) over (a subset of) the validation set.
+    With ``check_divergence`` (the default) a NaN/Inf batch loss raises
+    :class:`~repro.core.resilience.DivergenceError` instead of silently
+    poisoning the mean.
     """
     was_training = model.training
     model.eval()
@@ -75,6 +80,11 @@ def evaluate(
                 break
             logits = model(Tensor(images))
             loss = F.cross_entropy(logits, targets)
+            if check_divergence:
+                ensure_finite(
+                    loss.item(), "validation loss",
+                    stage="evaluate", batch_index=batch_index,
+                )
             n = len(targets)
             total_loss += loss.item() * n
             total_correct += int(
@@ -93,12 +103,19 @@ def train_epoch(
     loader: DataLoader,
     optimizer: Optimizer,
     max_batches: Optional[int] = None,
+    check_divergence: bool = True,
 ) -> float:
     """One quantization-aware SGD epoch; returns the mean training loss.
 
     The quantizer regularization (PACT's alpha penalty) is added to the
     task loss when present, so quantizer-internal parameters train jointly
     with the weights — the "collaboration" of all layers.
+
+    With ``check_divergence`` (the default) the epoch raises
+    :class:`~repro.core.resilience.DivergenceError` the moment a batch
+    loss or any parameter gradient goes NaN/Inf — *before* the optimizer
+    applies the poisoned update — so a rollback policy can restore the
+    last good snapshot instead of training on garbage.
     """
     model.train()
     losses: List[float] = []
@@ -110,7 +127,19 @@ def train_epoch(
         loss = F.cross_entropy(logits, targets)
         reg = collect_regularization(model)
         total = loss if reg is None else loss + reg
+        if check_divergence:
+            ensure_finite(
+                total.item(), "training loss",
+                stage="train", batch_index=batch_index,
+            )
         total.backward()
+        if check_divergence:
+            for p in optimizer.params:
+                if p.grad is not None:
+                    ensure_all_finite(
+                        p.grad, "parameter gradient",
+                        stage="train", batch_index=batch_index,
+                    )
         optimizer.step()
         losses.append(loss.item())
     if not losses:

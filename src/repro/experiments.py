@@ -16,7 +16,8 @@ configuration).  Every table/figure benchmark builds its workload through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from .baselines import PretrainConfig, pretrain
 from .datasets import SyntheticSplits, make_synthetic_cifar10, make_synthetic_imagenet
 from .nn.data import DataLoader
 from .nn.modules import Module
+from .nn.serialization import CheckpointError, load_checkpoint, save_checkpoint
 
 __all__ = ["Scale", "SCALES", "Task", "build_task", "TASK_NAMES"]
 
@@ -101,13 +103,36 @@ class Task:
         val = DataLoader(self.splits.val, batch_size=128)
         return train, val
 
-    def pretrained_model(self) -> Tuple[Module, float]:
+    def _pretrain_cache_path(self, cache_dir: Union[str, Path]) -> Path:
+        return Path(cache_dir) / f"pretrain-{self.name}-{self.scale.name}.npz"
+
+    def pretrained_model(
+        self, cache_dir: Optional[Union[str, Path]] = None
+    ) -> Tuple[Module, float]:
         """A pretrained float model + its baseline accuracy.
 
         The first call trains and caches the checkpoint; later calls
         restore it into a fresh network, so every experiment row starts
         from the identical baseline (the paper's protocol).
+
+        With ``cache_dir`` the pretrained weights are also persisted to
+        disk (crash-safe, via ``repro.nn.serialization``), so a resumed
+        or repeated run skips the pretraining cost entirely.  A stale or
+        incompatible cache file is retrained from scratch, not trusted.
         """
+        cache_path = (
+            self._pretrain_cache_path(cache_dir)
+            if cache_dir is not None else None
+        )
+        if self._pretrained_state is None and cache_path is not None:
+            if cache_path.exists():
+                model = self.make_model()
+                try:
+                    extra = load_checkpoint(model, cache_path)
+                    self._pretrained_state = model.state_dict()
+                    self.baseline_accuracy = float(extra["baseline_accuracy"])
+                except (CheckpointError, KeyError, ValueError):
+                    self._pretrained_state = None
         if self._pretrained_state is None:
             model = self.make_model()
             train, val = self.loaders()
@@ -122,6 +147,12 @@ class Task:
             )
             self._pretrained_state = model.state_dict()
             self.baseline_accuracy = result.baseline_accuracy
+            if cache_path is not None:
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                save_checkpoint(
+                    model, cache_path,
+                    extra={"baseline_accuracy": self.baseline_accuracy},
+                )
         model = self.make_model()
         model.load_state_dict(self._pretrained_state)
         return model, self.baseline_accuracy

@@ -22,7 +22,12 @@ from .modules import (
     ReLU,
     Sequential,
 )
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    CheckpointError,
+    atomic_savez,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .summary import LayerSummary, format_summary, summarize
 from .tensor import Tensor, as_tensor
 
@@ -50,6 +55,8 @@ __all__ = [
     "data",
     "serialization",
     "save_checkpoint",
+    "atomic_savez",
+    "CheckpointError",
     "load_checkpoint",
     "LayerSummary",
     "summarize",

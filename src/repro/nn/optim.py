@@ -33,6 +33,44 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- state (for crash-safe checkpoints and rollback snapshots) -----------
+    #
+    # Internal slot state (momentum buffers, Adam moments) is keyed by
+    # ``id(param)`` at runtime, which does not survive a process restart;
+    # the state dict re-keys it by position in ``self.params``, which is
+    # deterministic for a model rebuilt the same way.
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot hyper-parameters and per-parameter slot state."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def _slots_by_index(
+        self, slots: Dict[int, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        return {
+            str(i): slots[id(p)].copy()
+            for i, p in enumerate(self.params)
+            if id(p) in slots
+        }
+
+    def _slots_by_id(
+        self, slots: Dict[str, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        out: Dict[int, np.ndarray] = {}
+        for key, value in slots.items():
+            index = int(key)
+            if not 0 <= index < len(self.params):
+                raise KeyError(
+                    f"optimizer state names parameter {index}, but only "
+                    f"{len(self.params)} parameters are registered"
+                )
+            out[id(self.params[index])] = np.array(value, dtype=np.float64)
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay.
@@ -77,6 +115,15 @@ class SGD(Optimizer):
                 grad = grad + self.momentum * buf if self.nesterov else buf
             p.data -= self.lr * grad
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = self._slots_by_index(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._slots_by_id(state.get("velocity", {}))
+
 
 class Adam(Optimizer):
     """Adam with bias correction."""
@@ -115,3 +162,16 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["t"] = self._t
+        state["m"] = self._slots_by_index(self._m)
+        state["v"] = self._slots_by_index(self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state.get("t", 0))
+        self._m = self._slots_by_id(state.get("m", {}))
+        self._v = self._slots_by_id(state.get("v", {}))

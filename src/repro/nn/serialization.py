@@ -4,21 +4,72 @@ Long CCQ runs (the `paper` scale) want restartable checkpoints.  A
 checkpoint bundles the model's parameters and buffers (via
 ``Module.state_dict``) together with the per-layer bit configuration, so a
 mixed-precision model reloads at the exact precision it was saved at.
+
+Writes are crash-safe: the archive is serialized to a temporary file in
+the target directory and renamed into place with ``os.replace``, so a
+kill mid-write can never leave a torn ``.npz`` behind — the old
+checkpoint (if any) survives intact until the new one is fully on disk.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from .modules import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "atomic_savez",
+]
 
 _BITS_KEY = "__bit_config_json__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint cannot be restored into the given model.
+
+    Raised with a human-readable description of the mismatch (e.g. the
+    layer names / bit widths present on one side but not the other)
+    instead of letting a bare ``KeyError`` escape from deep inside the
+    state-dict machinery.
+    """
+
+
+def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> None:
+    """``np.savez_compressed`` with atomic-rename semantics.
+
+    The archive is written to a temporary file in the same directory
+    (same filesystem, so the rename is atomic), fsynced, and moved into
+    place with ``os.replace``.  Readers either see the old complete file
+    or the new complete file, never a partial write.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            # Writing to the file object (not a path) stops numpy from
+            # appending its own ".npz" suffix to the temp name.
+            np.savez_compressed(f, **arrays)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def save_checkpoint(
@@ -29,7 +80,7 @@ def save_checkpoint(
     """Write parameters, buffers and the bit configuration to ``path``.
 
     ``extra`` is a flat dict of scalars (e.g. the baseline accuracy) kept
-    alongside the arrays.
+    alongside the arrays.  The write is atomic (see :func:`atomic_savez`).
     """
     from ..quantization.qmodules import get_bit_config, quantized_layers
 
@@ -43,7 +94,47 @@ def save_checkpoint(
     state[_BITS_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
-    np.savez_compressed(str(path), **state)
+    atomic_savez(path, **state)
+
+
+def _check_bit_config_compatible(
+    checkpoint_bits: Dict[str, tuple],
+    model_layers: Dict[str, object],
+    path: Union[str, Path],
+) -> None:
+    """Raise :class:`CheckpointError` if the saved bit config cannot be
+    applied to the model's quantized layers, listing the mismatch."""
+    saved = set(checkpoint_bits)
+    present = set(model_layers)
+    missing_in_model = sorted(saved - present)
+    missing_in_ckpt = sorted(present - saved)
+    if not missing_in_model and not missing_in_ckpt:
+        return
+    lines = [
+        f"checkpoint {path} bit configuration does not match the "
+        f"model's quantized layers:"
+    ]
+    if missing_in_model:
+        lines.append(
+            "  layers in checkpoint but not in model: "
+            + ", ".join(
+                f"{name} ({_fmt_bits(checkpoint_bits[name])})"
+                for name in missing_in_model
+            )
+        )
+    if missing_in_ckpt:
+        lines.append(
+            "  quantized layers in model but not in checkpoint: "
+            + ", ".join(missing_in_ckpt)
+        )
+    raise CheckpointError("\n".join(lines))
+
+
+def _fmt_bits(pair) -> str:
+    w_bits, a_bits = tuple(pair)
+    w = "fp" if w_bits is None else f"{w_bits}b"
+    a = "fp" if a_bits is None else f"{a_bits}b"
+    return f"w={w}, a={a}"
 
 
 def load_checkpoint(
@@ -53,7 +144,9 @@ def load_checkpoint(
 
     The bit configuration is re-applied to the model's quantized layers
     (if any were saved), so the loaded network evaluates at the saved
-    precision immediately.
+    precision immediately.  A checkpoint whose bit configuration names
+    different layers than the model raises :class:`CheckpointError`
+    listing the mismatch, as does a parameter/buffer name mismatch.
     """
     from ..quantization.qmodules import quantized_layers, set_bit_config
 
@@ -71,9 +164,17 @@ def load_checkpoint(
     # Order matters: applying the bit config first lets the subsequent
     # state load overwrite any statistics-derived quantizer state (LSQ
     # steps, QIL intervals) with the *trained* saved values...
+    model_qlayers = dict(quantized_layers(model))
+    if bits or model_qlayers:
+        _check_bit_config_compatible(bits, model_qlayers, path)
     if bits:
         set_bit_config(model, bits)
-    model.load_state_dict(state)
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as err:
+        raise CheckpointError(
+            f"checkpoint {path} state does not match the model: {err}"
+        ) from err
     # ...and the quantizers are then marked initialized so their next
     # forward does not re-derive that state from scratch.
     for _, layer in quantized_layers(model):

@@ -1,0 +1,172 @@
+"""Fault-injection wrappers for proving the CCQ recovery paths.
+
+Not a test module — a harness imported by the resilience and resume
+tests.  The wrappers make a data loader or a module misbehave at a
+precisely chosen point:
+
+* :class:`FaultyLoader` — wraps a ``DataLoader``; at a chosen global
+  batch index it can **raise** an :class:`InjectedFault`, **kill** the
+  process model with a :class:`SimulatedKill` (standing in for
+  SIGKILL / power loss — the driver must *not* catch it), emit a **nan**
+  batch (poisoned images), or **stall** for a configurable delay before
+  continuing.  Every other batch is passed through untouched, and the
+  wrapped loader's RNG is consumed identically to an unwrapped run, so a
+  fault-free prefix of the trajectory is bit-identical to the reference.
+* :class:`FaultyModule` — wraps a ``Module`` and corrupts (or raises
+  from) its forward pass at a chosen call index.
+
+All wrappers delegate unknown attributes to the wrapped object, so code
+that pokes at ``loader._rng`` or ``module.training`` keeps working.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+__all__ = [
+    "InjectedFault",
+    "SimulatedKill",
+    "FaultyLoader",
+    "FaultyModule",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (recoverable-error model)."""
+
+
+class SimulatedKill(BaseException):
+    """Stands in for SIGKILL / power loss.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    ``except Exception`` recovery path in the code under test can absorb
+    it — exactly like a real kill, the run must die and be *resumed*.
+    """
+
+
+class FaultyLoader:
+    """Wrap a data loader and inject one fault at a global batch index.
+
+    Parameters
+    ----------
+    loader:
+        The loader to wrap.
+    fail_at_batch:
+        Zero-based global batch counter (across epochs) at which the
+        fault fires.
+    mode:
+        ``"raise"`` (InjectedFault), ``"kill"`` (SimulatedKill),
+        ``"nan"`` (poison the images with NaN) or ``"stall"`` (sleep
+        ``stall_seconds`` then continue).
+    once:
+        If True (default) the fault fires exactly once; otherwise it
+        fires on every batch from ``fail_at_batch`` onwards.
+    stall_seconds:
+        Sleep duration for ``mode="stall"``.
+    """
+
+    def __init__(
+        self,
+        loader,
+        fail_at_batch: int,
+        mode: str = "nan",
+        once: bool = True,
+        stall_seconds: float = 0.01,
+    ) -> None:
+        if mode not in ("raise", "kill", "nan", "stall"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self.loader = loader
+        self.fail_at_batch = fail_at_batch
+        self.mode = mode
+        self.once = once
+        self.stall_seconds = stall_seconds
+        self.batches_served = 0
+        self.faults_fired = 0
+
+    def __getattr__(self, name):
+        return getattr(self.loader, name)
+
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def _should_fire(self) -> bool:
+        if self.once:
+            return (
+                self.batches_served == self.fail_at_batch
+                and self.faults_fired == 0
+            )
+        return self.batches_served >= self.fail_at_batch
+
+    def __iter__(self) -> Iterator:
+        for images, targets in self.loader:
+            if self._should_fire():
+                self.faults_fired += 1
+                if self.mode == "raise":
+                    raise InjectedFault(
+                        f"injected loader fault at batch "
+                        f"{self.batches_served}"
+                    )
+                if self.mode == "kill":
+                    raise SimulatedKill(
+                        f"simulated kill at batch {self.batches_served}"
+                    )
+                if self.mode == "stall":
+                    time.sleep(self.stall_seconds)
+                elif self.mode == "nan":
+                    images = np.full_like(images, np.nan)
+            self.batches_served += 1
+            yield images, targets
+
+
+class FaultyModule(Module):
+    """Wrap a module and corrupt its forward pass at a chosen call.
+
+    ``mode="nan"`` replaces the output data with NaN; ``mode="raise"``
+    raises :class:`InjectedFault`; ``mode="kill"`` raises
+    :class:`SimulatedKill`.
+    """
+
+    def __init__(
+        self,
+        inner: Module,
+        fail_at_call: int,
+        mode: str = "nan",
+        once: bool = True,
+    ) -> None:
+        super().__init__()
+        if mode not in ("raise", "kill", "nan"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self.inner = inner  # registered as a child: train/eval propagate
+        self.fail_at_call = fail_at_call
+        self.mode = mode
+        self.once = once
+        self.calls = 0
+        self.faults_fired = 0
+
+    def _should_fire(self) -> bool:
+        if self.once:
+            return self.calls == self.fail_at_call and self.faults_fired == 0
+        return self.calls >= self.fail_at_call
+
+    def forward(self, x):
+        fire = self._should_fire()
+        self.calls += 1
+        if fire:
+            self.faults_fired += 1
+            if self.mode == "raise":
+                raise InjectedFault(
+                    f"injected module fault at call {self.calls - 1}"
+                )
+            if self.mode == "kill":
+                raise SimulatedKill(
+                    f"simulated kill at call {self.calls - 1}"
+                )
+        out = self.inner(x)
+        if fire and self.mode == "nan":
+            out.data = np.full_like(out.data, np.nan)
+        return out

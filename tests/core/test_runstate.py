@@ -1,0 +1,240 @@
+"""Journal format, atomic checkpoint store, and the state codecs."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core.collaboration import RecoveryReport
+from repro.core.competition import CompetitionResult
+from repro.core.runstate import (
+    RunJournal,
+    RunStateStore,
+    eval_from_json,
+    eval_to_json,
+    get_rng_state,
+    record_from_json,
+    record_to_json,
+    set_rng_state,
+)
+from repro.core.training import EvalResult
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+from repro.quantization import get_bit_config, quantize_model, set_uniform_bits
+
+
+class TestRunJournal:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append("run_start", seed=0)
+        journal.append("step_complete", step=0, layer="conv1")
+        events = journal.events()
+        assert [e["event"] for e in events] == ["run_start", "step_complete"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[1]["layer"] == "conv1"
+
+    def test_filter_by_event(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("a")
+        journal.append("b")
+        journal.append("a")
+        assert len(journal.events("a")) == 2
+        assert journal.events("missing") == []
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.append("a", n=1)
+        journal.append("b", n=2)
+        with open(path, "a") as f:
+            f.write('{"seq": 2, "event": "c", "n":')  # crash mid-write
+        reopened = RunJournal(path)
+        events = reopened.events()
+        assert [e["event"] for e in events] == ["a", "b"]
+        # Appends continue after the torn line with the right sequence.
+        reopened.append("d")
+        assert reopened.events()[-1]["seq"] == 2
+
+    def test_lines_are_valid_jsonl(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.append("x", value=1.5)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestRngCodec:
+    def test_state_roundtrips_through_json(self):
+        rng = np.random.default_rng(42)
+        rng.random(17)  # advance
+        state = json.loads(json.dumps(get_rng_state(rng)))
+        clone = np.random.default_rng(0)
+        set_rng_state(clone, state)
+        np.testing.assert_array_equal(rng.random(50), clone.random(50))
+
+
+class TestRecordCodec:
+    def _record(self):
+        from repro.core.ccq import StepRecord
+
+        return StepRecord(
+            step=3, layer_index=1, layer_name="conv2",
+            from_bits=8, to_bits=4, lambda_used=0.55,
+            pre_accuracy=0.81, post_quant_accuracy=0.62,
+            recovered_accuracy=0.80,
+            recovery=RecoveryReport(
+                epochs_used=2, start_accuracy=0.62, end_accuracy=0.80,
+                target_accuracy=0.805, recovered=False,
+                accuracy_history=[0.62, 0.7, 0.8],
+                train_loss_history=[1.2, 0.9],
+                lr_history=[0.02, 0.01],
+            ),
+            competition=CompetitionResult(
+                winner=1,
+                probabilities=np.array([0.25, 0.5, 0.25]),
+                learned_probabilities=np.array([0.3, 0.4, 0.3]),
+                probe_losses={0: 1.5, 2: 2.5},
+                probes=[0, 2, 0],
+                lambda_used=0.55,
+            ),
+            compression=3.7,
+        )
+
+    def test_roundtrip_through_json_text(self):
+        original = self._record()
+        data = json.loads(json.dumps(record_to_json(original)))
+        restored = record_from_json(data)
+        assert restored.step == original.step
+        assert restored.layer_name == original.layer_name
+        assert restored.from_bits == original.from_bits
+        assert restored.to_bits == original.to_bits
+        assert restored.recovery == original.recovery
+        assert restored.competition.winner == original.competition.winner
+        # Integer keys survive the JSON string-key round trip.
+        assert restored.competition.probe_losses == {0: 1.5, 2: 2.5}
+        np.testing.assert_array_equal(
+            restored.competition.probabilities,
+            original.competition.probabilities,
+        )
+        assert restored.compression == original.compression
+
+    def test_eval_codec(self):
+        original = EvalResult(loss=1.25, accuracy=0.5, n_samples=200)
+        assert eval_from_json(
+            json.loads(json.dumps(eval_to_json(original)))
+        ) == original
+
+
+def _trained_pair(width=4, steps=3):
+    """A quantized model + SGD that has real momentum state."""
+    rng = np.random.default_rng(0)
+    net = models.SmallConvNet(width=width, rng=np.random.default_rng(0))
+    quantize_model(net, "pact")
+    set_uniform_bits(net, 4, 4)
+    optimizer = SGD(list(net.parameters()), lr=0.05, momentum=0.9)
+    for _ in range(steps):
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)))
+        loss = net(x).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return net, optimizer
+
+
+class TestOptimizerState:
+    def test_sgd_roundtrip_produces_identical_updates(self):
+        net, optimizer = _trained_pair()
+        state = optimizer.state_dict()
+
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(5))
+        quantize_model(other, "pact")
+        set_uniform_bits(other, 4, 4)
+        other.load_state_dict(net.state_dict())
+        restored = SGD(list(other.parameters()), lr=0.01, momentum=0.9)
+        restored.load_state_dict(state)
+        assert restored.lr == optimizer.lr
+
+        rng = np.random.default_rng(7)
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)))
+        for opt, model in ((optimizer, net), (restored, other)):
+            opt.zero_grad()
+            model(Tensor(x.data.copy())).sum().backward()
+            opt.step()
+        for a, b in zip(net.parameters(), other.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_adam_state_roundtrip(self):
+        net, _ = _trained_pair(steps=0)
+        params = list(net.parameters())
+        adam = Adam(params, lr=1e-3)
+        rng = np.random.default_rng(3)
+        for _ in range(2):
+            adam.zero_grad()
+            net(Tensor(rng.normal(size=(2, 3, 12, 12)))).sum().backward()
+            adam.step()
+        state = adam.state_dict()
+        clone = Adam(params, lr=5e-4)
+        clone.load_state_dict(state)
+        assert clone._t == adam._t
+        for key in adam._m:
+            np.testing.assert_array_equal(clone._m[key], adam._m[key])
+
+    def test_rejects_out_of_range_parameter_index(self):
+        net, optimizer = _trained_pair()
+        state = optimizer.state_dict()
+        state["velocity"]["999"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            optimizer.load_state_dict(state)
+
+
+class TestRunStateStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        net, optimizer = _trained_pair()
+        store = RunStateStore(tmp_path / "run")
+        state = {"step": 5, "best_accuracy": 0.9, "custom": [1, 2, 3]}
+        store.save(net, optimizer, state, seq=1)
+        assert store.has_checkpoint()
+
+        other = models.SmallConvNet(width=4, rng=np.random.default_rng(9))
+        quantize_model(other, "pact")
+        set_uniform_bits(other, 8, 8)
+        restored_opt = SGD(list(other.parameters()), lr=0.5, momentum=0.9)
+        loaded = RunStateStore(tmp_path / "run").load(other, restored_opt)
+        assert loaded["step"] == 5
+        assert loaded["custom"] == [1, 2, 3]
+        assert get_bit_config(other) == get_bit_config(net)
+        for (k1, v1), (k2, v2) in zip(
+            sorted(net.state_dict().items()),
+            sorted(other.state_dict().items()),
+        ):
+            assert k1 == k2
+            np.testing.assert_array_equal(v1, v2)
+        assert restored_opt.lr == optimizer.lr
+
+    def test_superseded_archives_are_pruned(self, tmp_path):
+        net, optimizer = _trained_pair()
+        store = RunStateStore(tmp_path / "run")
+        store.save(net, optimizer, {"step": 1}, seq=1)
+        store.save(net, optimizer, {"step": 2}, seq=2)
+        names = sorted(os.listdir(tmp_path / "run"))
+        assert "model-000002.npz" in names
+        assert "model-000001.npz" not in names
+        assert "optim-000001.npz" not in names
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        net, optimizer = _trained_pair()
+        store = RunStateStore(tmp_path / "run")
+        store.save(net, optimizer, {"step": 1}, seq=1)
+        leftovers = [n for n in os.listdir(tmp_path / "run")
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_missing_checkpoint_is_a_clear_error(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        net, optimizer = _trained_pair()
+        store = RunStateStore(tmp_path / "empty")
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            store.load(net, optimizer)

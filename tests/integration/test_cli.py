@@ -29,6 +29,41 @@ class TestRunCCQ:
         assert payload["compression"] > 1.0
         assert set(payload["bit_config"])  # non-empty
 
+    def test_checkpoint_and_resume_flags(self, capsys, tmp_path):
+        ckpt = tmp_path / "run"
+        base_args = [
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--probes", "2",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        code = main(base_args + ["--max-steps", "2"])
+        assert code == 0
+        capsys.readouterr()
+        assert (ckpt / "state.json").exists()
+        assert (ckpt / "journal.jsonl").exists()
+        # The pretrained float baseline was cached alongside.
+        caches = list(ckpt.glob("pretrain-*.npz"))
+        assert len(caches) == 1
+
+        # Resume extends the budget and picks up where the run stopped.
+        code = main(base_args + ["--max-steps", "4", "--resume"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert f"resuming from checkpoint in {ckpt}" in printed
+        assert "step   2:" in printed
+
+    def test_resume_without_checkpoint_dir_errors(self, capsys):
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--resume",
+        ])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
     def test_block_granularity_flag(self, capsys):
         code = main([
             "run-ccq",

@@ -1,10 +1,17 @@
 """Checkpoint save/load round trips."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import models
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import (
+    CheckpointError,
+    atomic_savez,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.nn.tensor import Tensor
 from repro.quantization import (
     get_bit_config,
@@ -98,3 +105,87 @@ class TestQuantizedCheckpoint:
         layers = quantized_layers(other)
         assert layers[0][1].w_bits is None
         assert layers[1][1].w_bits == 3
+
+
+class TestCrashSafety:
+    def test_atomic_savez_leaves_no_temp_files(self, tmp_path):
+        atomic_savez(tmp_path / "a.npz", x=np.arange(3))
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+        with np.load(tmp_path / "a.npz") as archive:
+            np.testing.assert_array_equal(archive["x"], np.arange(3))
+
+    def test_atomic_savez_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.zeros(2))
+        atomic_savez(path, x=np.ones(2))
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["x"], np.ones(2))
+
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(4))
+
+        class Unsavable:
+            def __reduce__(self):
+                raise RuntimeError("cannot pickle")
+
+        with pytest.raises(Exception):
+            atomic_savez(path, x=np.array(Unsavable(), dtype=object))
+        # The old file is intact and no temp files linger.
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+        with np.load(path) as archive:
+            np.testing.assert_array_equal(archive["x"], np.arange(4))
+
+    def test_save_checkpoint_is_atomic(self, tmp_path):
+        net = models.MLP(4, [4], 2, rng=np.random.default_rng(0))
+        save_checkpoint(net, tmp_path / "m.npz")
+        save_checkpoint(net, tmp_path / "m.npz")  # overwrite in place
+        assert sorted(os.listdir(tmp_path)) == ["m.npz"]
+
+
+class TestCheckpointErrors:
+    def _quantized(self, seed, width=4):
+        net = models.SmallConvNet(width=width, rng=np.random.default_rng(seed))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        return net
+
+    def test_unquantized_target_lists_missing_layers(self, tmp_path):
+        net = self._quantized(0)
+        save_checkpoint(net, tmp_path / "q.npz")
+        plain = models.SmallConvNet(width=4, rng=np.random.default_rng(1))
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(plain, tmp_path / "q.npz")
+        message = str(excinfo.value)
+        assert "layers in checkpoint but not in model" in message
+        # The offending layers are named, with their bit widths.
+        assert "conv1" in message
+        assert "w=4b" in message
+
+    def test_quantized_target_plain_checkpoint_lists_extras(self, tmp_path):
+        plain = models.SmallConvNet(width=4, rng=np.random.default_rng(0))
+        save_checkpoint(plain, tmp_path / "p.npz")
+        net = self._quantized(1)
+        with pytest.raises(
+            CheckpointError,
+            match="quantized layers in model but not in checkpoint",
+        ):
+            load_checkpoint(net, tmp_path / "p.npz")
+
+    def test_architecture_mismatch_is_a_checkpoint_error(self, tmp_path):
+        net = models.MLP(4, [4], 2, rng=np.random.default_rng(0))
+        save_checkpoint(net, tmp_path / "m.npz")
+        bigger = models.MLP(4, [4, 4], 2, rng=np.random.default_rng(1))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(bigger, tmp_path / "m.npz")
+
+    def test_mismatch_leaves_model_bits_untouched(self, tmp_path):
+        net = self._quantized(0)
+        save_checkpoint(net, tmp_path / "q.npz")
+        plain = models.SmallConvNet(width=4, rng=np.random.default_rng(2))
+        before = {k: v.copy() for k, v in plain.state_dict().items()}
+        with pytest.raises(CheckpointError):
+            load_checkpoint(plain, tmp_path / "q.npz")
+        after = plain.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(after[key], value)
