@@ -43,13 +43,13 @@ def make_config(gamma: float, probes: int, finetune_epochs: int) -> CCQConfig:
     )
 
 
-def run_gamma(task, gamma: float, probes: int = 4) -> dict:
+def run_gamma(task, gamma: float, probes: int = 4, telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     ccq = CCQQuantizer(
         model, train, val,
         config=make_config(gamma, probes, task.scale.finetune_epochs),
-        policy="pact",
+        policy="pact", telemetry=telemetry,
     )
     result = ccq.run()
     return {
@@ -61,19 +61,20 @@ def run_gamma(task, gamma: float, probes: int = 4) -> dict:
     }
 
 
-def run_random_control(task) -> dict:
+def run_random_control(task, telemetry=None) -> dict:
     """gamma ~ 0 with a single probe approximates uniform random picking."""
-    out = run_gamma(task, gamma=1e-6, probes=1)
+    out = run_gamma(task, gamma=1e-6, probes=1, telemetry=telemetry)
     out["gamma"] = "random"
     return out
 
 
 def bench_ablation_gamma(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("ablation_gamma")
 
     def run():
-        rows = [run_gamma(task, g) for g in GAMMAS]
-        rows.append(run_random_control(task))
+        rows = [run_gamma(task, g, telemetry=telemetry) for g in GAMMAS]
+        rows.append(run_random_control(task, telemetry=telemetry))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

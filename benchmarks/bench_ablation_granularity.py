@@ -29,7 +29,7 @@ from repro.quantization import quantize_model
 TARGET_COMPRESSION = 9.0
 
 
-def run_granularity(task, block_level: bool) -> dict:
+def run_granularity(task, block_level: bool, telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     quantize_model(model, "pact")
@@ -49,7 +49,8 @@ def run_granularity(task, block_level: bool) -> dict:
         max_steps=40,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, groups=groups)
+    ccq = CCQQuantizer(model, train, val, config=config, groups=groups,
+                       telemetry=telemetry)
     result = ccq.run()
     return {
         "granularity": "block" if block_level else "layer",
@@ -64,11 +65,14 @@ def run_granularity(task, block_level: bool) -> dict:
 
 def bench_ablation_granularity(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("ablation_granularity")
 
     def run():
         return {
-            "layer": run_granularity(task, block_level=False),
-            "block": run_granularity(task, block_level=True),
+            "layer": run_granularity(task, block_level=False,
+                                     telemetry=telemetry),
+            "block": run_granularity(task, block_level=True,
+                                     telemetry=telemetry),
         }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -31,7 +31,7 @@ from repro.quantization import quantize_model
 TARGET_COMPRESSION = 9.0
 
 
-def run_ccq(task) -> dict:
+def run_ccq(task, telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     config = CCQConfig(
@@ -49,7 +49,8 @@ def run_ccq(task) -> dict:
         max_steps=30,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     epochs = config.initial_recovery_epochs + sum(
         r.recovery.epochs_used for r in result.records
@@ -95,9 +96,10 @@ def run_haq(task, epoch_budget: int) -> dict:
 
 def bench_ablation_search_cost(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("ablation_search_cost")
 
     def run():
-        ccq = run_ccq(task)
+        ccq = run_ccq(task, telemetry=telemetry)
         haq = run_haq(task, epoch_budget=ccq["training_epochs"])
         return {"ccq": ccq, "haq": haq}
 

@@ -25,7 +25,7 @@ LAMBDAS = (0.0, 0.35, 0.65, 0.85, 1.0)
 TARGET_COMPRESSION = 9.0
 
 
-def run_lambda(task, lam: float) -> dict:
+def run_lambda(task, lam: float, telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     # Decaying schedule centred on `lam` (clamped to [0, 1]).
@@ -48,7 +48,8 @@ def run_lambda(task, lam: float) -> dict:
         max_steps=25,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     return {
         "lambda": lam,
@@ -59,7 +60,7 @@ def run_lambda(task, lam: float) -> dict:
     }
 
 
-def run_constant_lambda(task, lam: float) -> dict:
+def run_constant_lambda(task, lam: float, telemetry=None) -> dict:
     """DESIGN.md ablation: constant lambda vs the linear decay."""
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
@@ -78,7 +79,8 @@ def run_constant_lambda(task, lam: float) -> dict:
         max_steps=25,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     return {
         "lambda": f"const-{lam}",
@@ -91,10 +93,12 @@ def run_constant_lambda(task, lam: float) -> dict:
 
 def bench_fig1_lambda_sweep(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("fig1")
 
     def run():
-        rows = [run_lambda(task, lam) for lam in LAMBDAS]
-        rows.append(run_constant_lambda(task, 0.65))
+        rows = [run_lambda(task, lam, telemetry=telemetry)
+                for lam in LAMBDAS]
+        rows.append(run_constant_lambda(task, 0.65, telemetry=telemetry))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -20,7 +20,7 @@ from repro.core import (
 )
 
 
-def run_curve(task) -> dict:
+def run_curve(task, telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     config = CCQConfig(
@@ -38,7 +38,8 @@ def run_curve(task) -> dict:
         max_steps=30,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     return {
         "baseline": baseline,
@@ -64,7 +65,10 @@ def run_curve(task) -> dict:
 
 def bench_fig2_learning_curve(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
-    data = benchmark.pedantic(lambda: run_curve(task), rounds=1, iterations=1)
+    telemetry = record_result.telemetry("fig2")
+    data = benchmark.pedantic(
+        lambda: run_curve(task, telemetry=telemetry), rounds=1, iterations=1
+    )
 
     print("\nFig. 2 — learning curve (valleys = competition, peaks = collaboration)")
     print(f"{'step':>4} {'layer':<22} {'bits':>4} {'pre%':>7} "

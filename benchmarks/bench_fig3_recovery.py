@@ -25,7 +25,8 @@ from repro.core import (
 )
 
 
-def run_mode(task, recovery: RecoveryConfig, seed: int = 0) -> dict:
+def run_mode(task, recovery: RecoveryConfig, seed: int = 0,
+             telemetry=None) -> dict:
     model, baseline = task.pretrained_model()
     train, val = task.loaders()
     config = CCQConfig(
@@ -40,7 +41,8 @@ def run_mode(task, recovery: RecoveryConfig, seed: int = 0) -> dict:
         max_steps=30,
         seed=seed,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     return {
         "baseline": baseline,
@@ -54,11 +56,13 @@ def run_mode(task, recovery: RecoveryConfig, seed: int = 0) -> dict:
 def bench_fig3_recovery(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
     ft = task.scale.finetune_epochs
+    telemetry = record_result.telemetry("fig3")
 
     def run():
         manual = run_mode(
             task,
             RecoveryConfig(mode="manual", epochs=ft, use_hybrid_lr=True),
+            telemetry=telemetry,
         )
         adaptive = run_mode(
             task,
@@ -66,6 +70,7 @@ def bench_fig3_recovery(benchmark, get_task, record_result):
                 mode="adaptive", max_epochs=ft + 2, slack=0.01,
                 use_hybrid_lr=True,
             ),
+            telemetry=telemetry,
         )
         return {"manual": manual, "adaptive": adaptive}
 

@@ -29,7 +29,7 @@ def damaged_model(task):
     return model, baseline
 
 
-def run_mode(task, use_hybrid: bool) -> dict:
+def run_mode(task, use_hybrid: bool, telemetry=None) -> dict:
     model, baseline = damaged_model(task)
     train, val = task.loaders()
     optimizer = make_sgd(model, lr=0.005)
@@ -42,7 +42,8 @@ def run_mode(task, use_hybrid: bool) -> dict:
         hybrid_cycle=3,
     )
     report = recover(
-        model, train, val, optimizer, config, reference_accuracy=baseline
+        model, train, val, optimizer, config, reference_accuracy=baseline,
+        telemetry=telemetry,
     )
     return {
         "baseline": baseline,
@@ -54,11 +55,13 @@ def run_mode(task, use_hybrid: bool) -> dict:
 
 def bench_fig4_hybrid_lr(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("fig4")
 
     def run():
         return {
-            "constant": run_mode(task, use_hybrid=False),
-            "hybrid": run_mode(task, use_hybrid=True),
+            "constant": run_mode(task, use_hybrid=False,
+                                 telemetry=telemetry),
+            "hybrid": run_mode(task, use_hybrid=True, telemetry=telemetry),
         }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)

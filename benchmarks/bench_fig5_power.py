@@ -53,7 +53,8 @@ NETWORKS = [
 FPS = 30.0
 
 
-def run_network(label, make_model, input_shape, edge_bits) -> dict:
+def run_network(label, make_model, input_shape, edge_bits,
+                telemetry=None) -> dict:
     model = make_model()
     n = len(trace_layer_macs(model, input_shape))
     first, last = edge_bits
@@ -77,12 +78,23 @@ def run_network(label, make_model, input_shape, edge_bits) -> dict:
             "middle_mw": report.middle_watts * 1e3,
             "edge_to_middle": report.edge_to_middle_ratio,
         }
+        if telemetry is not None and telemetry.enabled:
+            telemetry.event(
+                "power_summary",
+                network=label, config=name,
+                total_mw=out[name]["total_mw"],
+                edge_mw=out[name]["edge_mw"],
+                middle_mw=out[name]["middle_mw"],
+            )
     return out
 
 
 def bench_fig5_power(benchmark, record_result):
+    telemetry = record_result.telemetry("fig5")
+
     def run():
-        return [run_network(*spec) for spec in NETWORKS]
+        return [run_network(*spec, telemetry=telemetry)
+                for spec in NETWORKS]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 

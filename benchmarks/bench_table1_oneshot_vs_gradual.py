@@ -30,7 +30,7 @@ POLICIES = ("dorefa", "wrpn", "pact")
 MIDDLE_BITS = 3
 
 
-def run_policy(task, policy: str) -> dict:
+def run_policy(task, policy: str, telemetry=None) -> dict:
     scale = task.scale
     train, val = task.loaders()
 
@@ -64,7 +64,8 @@ def run_policy(task, policy: str) -> dict:
         seed=0,
     )
     ccq = CCQQuantizer(
-        model_ccq, train, val, config=config, target_config=target_bits
+        model_ccq, train, val, config=config, target_config=target_bits,
+        telemetry=telemetry,
     )
     gradual = ccq.run()
 
@@ -79,9 +80,11 @@ def run_policy(task, policy: str) -> dict:
 
 def bench_table1(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
+    telemetry = record_result.telemetry("table1")
 
     def run():
-        return [run_policy(task, policy) for policy in POLICIES]
+        return [run_policy(task, policy, telemetry=telemetry)
+                for policy in POLICIES]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -62,7 +62,7 @@ UNIFORM_ROWS = {
 TARGET_COMPRESSION = 9.0
 
 
-def run_ccq_row(task, baseline: float) -> TableRow:
+def run_ccq_row(task, baseline: float, telemetry=None) -> TableRow:
     model, _ = task.pretrained_model()
     train, val = task.loaders()
     config = CCQConfig(
@@ -81,7 +81,8 @@ def run_ccq_row(task, baseline: float) -> TableRow:
         max_steps=50,
         seed=0,
     )
-    ccq = CCQQuantizer(model, train, val, config=config, policy="pact")
+    ccq = CCQQuantizer(model, train, val, config=config, policy="pact",
+                       telemetry=telemetry)
     result = ccq.run()
     return TableRow(
         framework="PACT+CCQ (ours)",
@@ -114,7 +115,7 @@ def run_hawq_row(task, baseline: float) -> TableRow:
     )
 
 
-def run_task(task) -> list:
+def run_task(task, telemetry=None) -> list:
     _, baseline = task.pretrained_model()
     rows = []
     for label, policy, bits in UNIFORM_ROWS[task.name]:
@@ -128,7 +129,7 @@ def run_task(task) -> list:
         )
         rows.append(row)
     rows.append(run_hawq_row(task, baseline))
-    rows.append(run_ccq_row(task, baseline))
+    rows.append(run_ccq_row(task, baseline, telemetry=telemetry))
     return rows
 
 
@@ -152,25 +153,26 @@ def _check_shape(rows) -> None:
     assert ccq.first_last == "MP"
 
 
+def _bench_table2(benchmark, task, record_result, result_name: str) -> None:
+    telemetry = record_result.telemetry(result_name)
+    rows = benchmark.pedantic(
+        lambda: run_task(task, telemetry=telemetry), rounds=1, iterations=1
+    )
+    _print_rows(task.name, rows)
+    record_result(result_name, {"rows": [vars(r) for r in rows]})
+    _check_shape(rows)
+
+
 def bench_table2_resnet20_cifar10(benchmark, get_task, record_result):
     task = get_task("resnet20_cifar10")
-    rows = benchmark.pedantic(lambda: run_task(task), rounds=1, iterations=1)
-    _print_rows(task.name, rows)
-    record_result("table2_resnet20", {"rows": [vars(r) for r in rows]})
-    _check_shape(rows)
+    _bench_table2(benchmark, task, record_result, "table2_resnet20")
 
 
 def bench_table2_resnet18_imagenet(benchmark, get_task, record_result):
     task = get_task("resnet18_imagenet")
-    rows = benchmark.pedantic(lambda: run_task(task), rounds=1, iterations=1)
-    _print_rows(task.name, rows)
-    record_result("table2_resnet18", {"rows": [vars(r) for r in rows]})
-    _check_shape(rows)
+    _bench_table2(benchmark, task, record_result, "table2_resnet18")
 
 
 def bench_table2_resnet50_imagenet(benchmark, get_task, record_result):
     task = get_task("resnet50_imagenet")
-    rows = benchmark.pedantic(lambda: run_task(task), rounds=1, iterations=1)
-    _print_rows(task.name, rows)
-    record_result("table2_resnet50", {"rows": [vars(r) for r in rows]})
-    _check_shape(rows)
+    _bench_table2(benchmark, task, record_result, "table2_resnet50")

@@ -6,6 +6,13 @@ benchmarks.  Every benchmark appends its headline numbers to
 ``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be regenerated
 from a single run.
 
+Each results file also carries a ``runtime`` block: the benchmark's own
+wall-clock duration, and — when the benchmark captured structured
+telemetry via ``record_result.telemetry(name)`` — the paths of its
+``events.jsonl``/``metrics.json`` snapshot under
+``benchmarks/results/telemetry/<name>/`` (render with
+``repro report-run``).
+
 Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``bench`` /
 ``paper``.  The default is ``smoke`` so a plain
 ``pytest benchmarks/ --benchmark-only`` completes in well under an hour
@@ -15,10 +22,12 @@ on a single CPU; ``bench``/``paper`` trade time for fidelity.
 import json
 import os
 import pathlib
+import time
 
 import pytest
 
 from repro.experiments import SCALES, Task, build_task
+from repro.telemetry import Telemetry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -49,14 +58,55 @@ def get_task():
     return factory
 
 
-@pytest.fixture(scope="session")
-def record_result():
-    """Persist one benchmark's headline numbers as JSON."""
+class BenchRecorder:
+    """Callable result writer that also tracks runtime + telemetry.
 
-    def save(name: str, payload: dict) -> None:
+    ``recorder(name, payload)`` persists the payload (plus a ``runtime``
+    block) to ``results/<name>.json``.  ``recorder.telemetry(name)``
+    returns a live :class:`repro.telemetry.Telemetry` handle writing to
+    ``results/telemetry/<name>/`` — pass it to :class:`CCQQuantizer` (or
+    call ``PowerReport.record``) and the snapshot paths are recorded in
+    the matching results file automatically.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self._telemetry = {}
+
+    def telemetry(self, name: str) -> Telemetry:
+        if name not in self._telemetry:
+            self._telemetry[name] = Telemetry.create(
+                directory=RESULTS_DIR / "telemetry" / name,
+                log_level="silent",
+            )
+        return self._telemetry[name]
+
+    def __call__(self, name: str, payload: dict) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
+        runtime = {"wall_clock_seconds": time.perf_counter() - self._t0}
+        handle = self._telemetry.get(name)
+        if handle is not None and handle.directory is not None:
+            handle.flush()
+            runtime["telemetry_events"] = str(handle.events_path)
+            runtime["telemetry_metrics"] = str(handle.metrics_path)
+        payload = dict(payload)
+        payload["runtime"] = runtime
         path = RESULTS_DIR / f"{name}.json"
         with open(path, "w") as f:
             json.dump(payload, f, indent=2, default=float)
 
-    return save
+    def close(self) -> None:
+        for handle in self._telemetry.values():
+            handle.close()
+
+
+@pytest.fixture()
+def record_result():
+    """Persist one benchmark's headline numbers (+ runtime) as JSON.
+
+    Function-scoped so the recorded wall-clock covers exactly one
+    benchmark, including its share of fixture setup.
+    """
+    recorder = BenchRecorder()
+    yield recorder
+    recorder.close()

@@ -4,14 +4,26 @@ Commands
 --------
 ``run-ccq``
     Pretrain one of the paper's network/dataset combinations and run the
-    full CCQ pipeline on it, printing the step log, the learned bit
-    configuration, compression and a power summary.
+    full CCQ pipeline on it, logging the step trace, the learned bit
+    configuration, compression and a power summary.  With
+    ``--telemetry-dir`` the run also emits structured telemetry
+    (``events.jsonl`` + ``metrics.json``) for ``report-run``.
+
+``report-run``
+    Render a finished run's telemetry directory into a per-stage
+    wall-clock breakdown and an accuracy/compression trajectory table
+    (optionally an SVG chart).
 
 ``policies``
-    List the registered quantization policies.
+    List the registered quantization policies (plain stdout, one per
+    line, for scripting).
 
 ``power``
     Print the MAC-energy table of the hardware model.
+
+Diagnostics go through the structured logger (``--log-level`` filters
+them); machine-consumable output (``policies``, the ``power`` table,
+``report-run`` tables, ``--output`` JSON) stays plain stdout.
 """
 
 from __future__ import annotations
@@ -32,15 +44,24 @@ from .core import (
 from .experiments import SCALES, TASK_NAMES, build_task
 from .hardware import NODE_32NM, NODE_32NM_SYNTH, mac_energy_pj, network_power
 from .quantization import available_policies
+from .telemetry import (
+    LEVELS,
+    Telemetry,
+    format_report,
+    load_run,
+    write_trajectory_svg,
+)
 
 
 def _cmd_policies(_: argparse.Namespace) -> int:
+    # Deliberately plain stdout (no log formatting): scripts pipe this.
     for name in available_policies():
         print(name)
     return 0
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
+    # Data output, not diagnostics — stays plain like ``policies``.
     node = NODE_32NM_SYNTH if args.synth else NODE_32NM
     print(f"MAC energy per op at {node.name}:")
     for bits in (1, 2, 3, 4, 6, 8, 16, None):
@@ -49,78 +70,130 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(args: argparse.Namespace) -> Telemetry:
+    """One live telemetry handle for a CLI run.
+
+    Logs go to stdout (errors to stderr); the progress line only
+    engages on an interactive stderr so piped/captured output stays
+    line-oriented.
+    """
+    return Telemetry.create(
+        directory=getattr(args, "telemetry_dir", None),
+        log_level=args.log_level,
+        log_stream=sys.stdout,
+        error_stream=sys.stderr,
+        progress=(
+            not getattr(args, "no_progress", False)
+            and sys.stderr.isatty()
+        ),
+        progress_stream=sys.stderr,
+    )
+
+
 def _cmd_run_ccq(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    task = build_task(args.task, scale=args.scale)
-    print(f"task: {task.name} (scale {args.scale})")
-    print("pretraining float baseline...")
-    model, baseline = task.pretrained_model(cache_dir=args.checkpoint_dir)
-    print(f"baseline accuracy: {baseline:.3f}")
-
-    train, val = task.loaders()
-    config = CCQConfig(
-        ladder=DEFAULT_LADDER,
-        probes_per_step=args.probes,
-        probe_batches=1,
-        lambda_schedule=LambdaSchedule(start=0.7, end=0.2, decay_steps=15),
-        recovery=RecoveryConfig(
-            mode="adaptive",
-            max_epochs=task.scale.finetune_epochs + 1,
-            slack=0.01,
-        ),
-        lr=args.lr,
-        target_compression=args.target_compression,
-        max_steps=args.max_steps,
-        seed=args.seed,
-        checkpoint_dir=args.checkpoint_dir,
-        max_retries=args.max_retries,
-    )
-    groups = None
-    if args.block_granularity:
-        from .core import residual_block_groups
-        from .quantization import quantize_model
-
-        quantize_model(model, args.policy)
-        groups = residual_block_groups(model)
-        print(f"block granularity: {len(groups)} experts")
-    ccq = CCQQuantizer(
-        model, train, val, config=config, policy=args.policy, groups=groups
-    )
-    if args.resume and ccq.store is not None and ccq.store.has_checkpoint():
-        print(f"resuming from checkpoint in {args.checkpoint_dir}")
-    result = ccq.run(resume=args.resume)
-
-    for rec in result.records:
-        print(
-            f"step {rec.step:3d}: {rec.layer_name:<24} "
-            f"{rec.from_bits}b->{rec.to_bits}b  "
-            f"valley {rec.post_quant_accuracy:.3f} "
-            f"peak {rec.recovered_accuracy:.3f} "
-            f"({rec.recovery.epochs_used} ep)"
+    telemetry = _make_telemetry(args)
+    log = telemetry.logger
+    try:
+        task = build_task(args.task, scale=args.scale)
+        log.info(f"task: {task.name} (scale {args.scale})")
+        model, baseline = task.pretrained_model(
+            cache_dir=args.checkpoint_dir, log=log
         )
-    print(f"\nfinal accuracy: {result.final_eval.accuracy:.3f} "
-          f"(degradation {baseline - result.final_eval.accuracy:+.3f})")
-    print(f"compression:    {result.compression:.2f}x")
-    power = network_power(model, task.input_shape, node=NODE_32NM_SYNTH)
-    print(f"MAC power:      {power.total_watts*1e3:.3f} mW @30fps")
+        log.info(f"baseline accuracy: {baseline:.3f}")
 
-    if args.output:
-        payload = {
-            "task": task.name,
-            "scale": args.scale,
-            "policy": args.policy,
-            "baseline": baseline,
-            "final_accuracy": result.final_eval.accuracy,
-            "compression": result.compression,
-            "bit_config": {
-                k: list(v) for k, v in result.bit_config.items()
-            },
-        }
-        with open(args.output, "w") as f:
-            json.dump(payload, f, indent=2)
-        print(f"wrote {args.output}")
+        train, val = task.loaders()
+        config = CCQConfig(
+            ladder=DEFAULT_LADDER,
+            probes_per_step=args.probes,
+            probe_batches=1,
+            lambda_schedule=LambdaSchedule(start=0.7, end=0.2,
+                                           decay_steps=15),
+            recovery=RecoveryConfig(
+                mode="adaptive",
+                max_epochs=task.scale.finetune_epochs + 1,
+                slack=0.01,
+            ),
+            lr=args.lr,
+            target_compression=args.target_compression,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            max_retries=args.max_retries,
+            input_shape=task.input_shape,
+        )
+        groups = None
+        if args.block_granularity:
+            from .core import residual_block_groups
+            from .quantization import quantize_model
+
+            quantize_model(model, args.policy)
+            groups = residual_block_groups(model)
+            log.info(f"block granularity: {len(groups)} experts")
+        ccq = CCQQuantizer(
+            model, train, val, config=config, policy=args.policy,
+            groups=groups, telemetry=telemetry,
+        )
+        if (
+            args.resume and ccq.store is not None
+            and ccq.store.has_checkpoint()
+        ):
+            log.info(f"resuming from checkpoint in {args.checkpoint_dir}")
+        # Per-step progress is logged live by the quantizer itself
+        # (through the same logger), so no post-run replay is needed.
+        result = ccq.run(resume=args.resume)
+
+        log.info(f"final accuracy: {result.final_eval.accuracy:.3f} "
+                 f"(degradation {baseline - result.final_eval.accuracy:+.3f})")
+        log.info(f"compression:    {result.compression:.2f}x")
+        power = network_power(model, task.input_shape, node=NODE_32NM_SYNTH)
+        power.record(telemetry)
+        log.info(f"MAC power:      {power.total_watts*1e3:.3f} mW @30fps")
+
+        if args.output:
+            payload = {
+                "task": task.name,
+                "scale": args.scale,
+                "policy": args.policy,
+                "baseline": baseline,
+                "final_accuracy": result.final_eval.accuracy,
+                "compression": result.compression,
+                "bit_config": {
+                    k: list(v) for k, v in result.bit_config.items()
+                },
+            }
+            if telemetry.directory is not None:
+                payload["telemetry_dir"] = str(telemetry.directory)
+            with open(args.output, "w") as f:
+                json.dump(payload, f, indent=2)
+            log.info(f"wrote {args.output}")
+        if telemetry.directory is not None:
+            log.info(
+                f"telemetry written to {telemetry.directory} "
+                f"(inspect with: repro report-run {telemetry.directory})"
+            )
+        return 0
+    finally:
+        telemetry.close()
+
+
+def _cmd_report_run(args: argparse.Namespace) -> int:
+    try:
+        run = load_run(args.directory)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    # The rendered report is the data output — plain stdout.
+    print(format_report(run))
+    if args.svg:
+        written = write_trajectory_svg(run, args.svg)
+        if written is not None:
+            print(f"wrote {written}")
+        else:
+            print("no completed steps to plot; skipped SVG",
+                  file=sys.stderr)
     return 0
 
 
@@ -129,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="CCQ (DAC 2020) reproduction CLI"
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=[name for name in LEVELS if name != "silent"],
+        help="minimum level for diagnostic log lines (default: info)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run-ccq", help="run the full CCQ pipeline")
@@ -161,8 +239,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="rollback retries for a diverged recovery stage before the "
              "step is skipped (default: 2)",
     )
+    p_run.add_argument(
+        "--telemetry-dir",
+        help="write structured telemetry here (events.jsonl + "
+             "metrics.json/csv); render later with 'repro report-run'",
+    )
+    p_run.add_argument(
+        "--no-progress", action="store_true",
+        help="disable the live progress line (it is auto-disabled when "
+             "stderr is not a terminal)",
+    )
     p_run.add_argument("--output", help="write a JSON summary here")
     p_run.set_defaults(func=_cmd_run_ccq)
+
+    p_rep = sub.add_parser(
+        "report-run",
+        help="render a finished run's telemetry directory",
+    )
+    p_rep.add_argument(
+        "directory",
+        help="the --telemetry-dir of a finished run-ccq run",
+    )
+    p_rep.add_argument(
+        "--svg",
+        help="also write the accuracy/compression trajectory chart here",
+    )
+    p_rep.set_defaults(func=_cmd_report_run)
 
     p_pol = sub.add_parser("policies", help="list quantization policies")
     p_pol.set_defaults(func=_cmd_policies)
@@ -176,7 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print; silence the
+        # interpreter's own complaint on shutdown and exit cleanly.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

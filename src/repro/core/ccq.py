@@ -29,6 +29,17 @@ or gradients diverge (NaN/Inf) is rolled back to the pre-step snapshot
 and retried with a decayed learning rate; after ``max_retries`` failures
 the winner's bit drop is reverted, the expert is put to sleep, the skip
 is journaled, and the search continues instead of dying.
+
+The driver is also *observable*.  Passing a live
+:class:`repro.telemetry.Telemetry` as ``CCQQuantizer(telemetry=...)``
+emits nested wall-clock spans for every stage (``run`` > ``step`` >
+``probe`` / ``eval`` / ``recover`` / ``checkpoint``), probe-loss
+histograms, per-expert Hedge-weight and per-layer bit gauges,
+divergence/retry/skip counters, throughput histograms and a live
+progress line — without affecting the search trajectory in any way
+(telemetry is deliberately not part of :class:`CCQConfig` or the resume
+fingerprint).  The default is a shared null object whose operations are
+no-ops, so an uninstrumented run pays nothing.
 """
 
 from __future__ import annotations
@@ -63,6 +74,7 @@ from .runstate import (
 )
 from .schedule import DEFAULT_LADDER, BitLadder
 from .training import EvalResult, evaluate, make_sgd, train_epoch
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["CCQConfig", "StepRecord", "CCQResult", "CCQQuantizer"]
 
@@ -179,8 +191,15 @@ class CCQQuantizer:
         policy: "QuantPolicy | str | None" = None,
         target_config: Optional[Dict[str, BitTarget]] = None,
         groups: Optional[Dict[str, Sequence[str]]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or CCQConfig()
+        # Observability: all spans/metrics/log lines route through this
+        # handle.  The default is the shared null singleton, whose every
+        # operation is a no-op — instrumentation costs nothing unless a
+        # live Telemetry is passed.  Deliberately NOT part of CCQConfig:
+        # it never affects the search trajectory or the fingerprint.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if policy is not None:
             quantize_model(model, policy)
         self.model = model
@@ -210,6 +229,7 @@ class CCQQuantizer:
             probes_per_step=self.config.probes_per_step,
             lambda_schedule=self.config.lambda_schedule,
             rng=self.rng,
+            telemetry=self.telemetry,
         )
         self.optimizer = make_sgd(
             model,
@@ -254,6 +274,16 @@ class CCQQuantizer:
         self._save_seq = 0
         self._best_accuracy = 0.0
         self._initial_eval: Optional[EvalResult] = None
+        if self.telemetry.enabled:
+            # Pre-register the resilience counters at zero so every
+            # run's metrics.json answers "how often did recovery fail?"
+            # even when the answer is "never".
+            for counter_name in (
+                "ccq.steps", "ccq.checkpoints", "ccq.probe_divergence",
+                "ccq.recovery_retry", "ccq.expert_skipped",
+                "ccq.fatal_divergence",
+            ):
+                self.telemetry.counter(counter_name)
 
     # -- expert bookkeeping -----------------------------------------------------
 
@@ -379,17 +409,23 @@ class CCQQuantizer:
             (self.layers[m][1].w_bits, self.layers[m][1].a_bits)
             for m in members
         ]
-        self._set_bits(index, self._next_bits(index))
+        next_bits = self._next_bits(index)
+        self._set_bits(index, next_bits)
         try:
-            result = evaluate(
-                self.model, self.val_loader,
-                max_batches=self.config.probe_batches,
-            )
+            with self.telemetry.span(
+                "probe", expert=self.experts[index][0], to_bits=next_bits
+            ):
+                result = evaluate(
+                    self.model, self.val_loader,
+                    max_batches=self.config.probe_batches,
+                    telemetry=self.telemetry,
+                )
         finally:
             for m, (w_bits, a_bits) in zip(members, saved):
                 self.layers[m][1].w_bits = w_bits
                 self.layers[m][1].a_bits = a_bits
         self.probe_forward_passes += 1
+        self.telemetry.histogram("ccq.probe_loss").observe(result.loss)
         return result.loss
 
     def _guarded_probe(self, index: int) -> float:
@@ -403,6 +439,13 @@ class CCQQuantizer:
         try:
             return self._probe_loss(index)
         except DivergenceError as err:
+            self.telemetry.counter(
+                "ccq.probe_divergence", expert=self.experts[index][0]
+            ).inc()
+            self.telemetry.logger.warning(
+                "probe diverged; penalizing candidate",
+                expert=self.experts[index][0], step=self._step,
+            )
             if self.store is not None:
                 self.store.journal.append(
                     "probe_divergence",
@@ -481,10 +524,22 @@ class CCQQuantizer:
         return None
 
     def _checkpoint(self) -> None:
-        """Atomically persist the complete search state (if enabled)."""
-        if self.store is None:
-            return
-        self._save_seq += 1
+        """Atomically persist the complete search state (if enabled).
+
+        The ``checkpoint`` span is emitted even when checkpointing is
+        disabled (zero duration, ``enabled=False``) so the per-stage
+        breakdown always shows the stage.
+        """
+        with self.telemetry.span(
+            "checkpoint", step=self._step, enabled=self.store is not None
+        ):
+            if self.store is None:
+                return
+            self._save_seq += 1
+            self._checkpoint_inner()
+        self.telemetry.counter("ccq.checkpoints").inc()
+
+    def _checkpoint_inner(self) -> None:
         state = {
             "version": 1,
             "fingerprint": self._fingerprint(),
@@ -551,28 +606,42 @@ class CCQQuantizer:
         configuration as the per-step collaboration; otherwise a fixed
         ``initial_recovery_epochs`` epochs are run.
         """
-        float_eval = evaluate(self.model, self.val_loader)
-        start = self.config.ladder.start
-        for i in range(len(self.experts)):
-            if self._participates(i):
-                self._set_bits(i, start)
-        if self.config.initial_recovery_adaptive:
-            self.optimizer.lr = self._base_lr
-            recover(
-                self.model,
-                self.train_loader,
-                self.val_loader,
-                self.optimizer,
-                self.config.recovery,
-                reference_accuracy=float_eval.accuracy,
+        with self.telemetry.span("initialize"):
+            float_eval = evaluate(
+                self.model, self.val_loader, telemetry=self.telemetry
             )
-        else:
-            for _ in range(self.config.initial_recovery_epochs):
-                train_epoch(
-                    self.model, self.train_loader, self.optimizer,
-                    max_batches=self.config.recovery.max_batches_per_epoch,
+            self.telemetry.gauge("ccq.float_accuracy").set(
+                float_eval.accuracy
+            )
+            self.telemetry.logger.info(
+                "float baseline evaluated",
+                accuracy=float_eval.accuracy, loss=float_eval.loss,
+            )
+            start = self.config.ladder.start
+            for i in range(len(self.experts)):
+                if self._participates(i):
+                    self._set_bits(i, start)
+            if self.config.initial_recovery_adaptive:
+                self.optimizer.lr = self._base_lr
+                recover(
+                    self.model,
+                    self.train_loader,
+                    self.val_loader,
+                    self.optimizer,
+                    self.config.recovery,
+                    reference_accuracy=float_eval.accuracy,
+                    telemetry=self.telemetry,
                 )
-        return evaluate(self.model, self.val_loader)
+            else:
+                for _ in range(self.config.initial_recovery_epochs):
+                    train_epoch(
+                        self.model, self.train_loader, self.optimizer,
+                        max_batches=self.config.recovery.max_batches_per_epoch,
+                        telemetry=self.telemetry,
+                    )
+            return evaluate(
+                self.model, self.val_loader, telemetry=self.telemetry
+            )
 
     def _execute_step(self, step: int) -> Optional[StepRecord]:
         """One quantization step with rollback-on-divergence.
@@ -581,12 +650,24 @@ class CCQQuantizer:
         retry failed and the step degraded to a journaled skip (the
         winner's bit drop reverted, the expert put to sleep).
         """
+        with self.telemetry.span("step", step=step):
+            return self._execute_step_inner(step)
+
+    def _execute_step_inner(self, step: int) -> Optional[StepRecord]:
         store = self.store
+        telemetry = self.telemetry
         try:
-            pre = evaluate(self.model, self.val_loader)
+            with telemetry.span("eval", stage="pre_step", step=step):
+                pre = evaluate(
+                    self.model, self.val_loader, telemetry=telemetry
+                )
         except DivergenceError as err:
             # The *standing* model diverged before we touched anything —
             # there is no snapshot to roll back to; journal and surface.
+            telemetry.counter("ccq.fatal_divergence").inc()
+            telemetry.logger.error(
+                "standing model diverged before step", step=step,
+            )
             if store is not None:
                 store.journal.append(
                     "fatal_divergence", step=step, **err.context()
@@ -598,12 +679,27 @@ class CCQQuantizer:
             layer_sizes=self._layer_sizes(),
             step=step,
         )
+        if telemetry.enabled:
+            # Per-expert Hedge weight + current bit gauges, labeled by
+            # expert name, so the learned preference is inspectable.
+            for (expert_name, _), weight in zip(
+                self.experts, self.competition.weights
+            ):
+                telemetry.gauge(
+                    "hedge.expert_weight", expert=expert_name
+                ).set(float(weight))
+            for layer_name, layer in self.layers:
+                bits = layer.w_bits
+                telemetry.gauge(
+                    "ccq.layer_bits", layer=layer_name
+                ).set(float(bits if bits is not None else 32))
         winner = result.winner
         name, _ = self.experts[winner]
         from_bits = self._current_bits(winner)
         to_bits = self._next_bits(winner)
 
-        snapshot = self._capture_snapshot()
+        with telemetry.span("snapshot", step=step):
+            snapshot = self._capture_snapshot()
         post: Optional[EvalResult] = None
         report: Optional[RecoveryReport] = None
         for attempt in self.retry_policy.attempts():
@@ -622,21 +718,36 @@ class CCQQuantizer:
                     )
                 )
             try:
-                post = evaluate(self.model, self.val_loader)
-                report = recover(
-                    self.model,
-                    self.train_loader,
-                    self.val_loader,
-                    self.optimizer,
-                    self.config.recovery,
-                    reference_accuracy=max(
-                        self._best_accuracy, pre.accuracy
-                    ),
-                    on_epoch=on_epoch,
-                )
+                with telemetry.span(
+                    "eval", stage="post_quant", step=step, layer=name
+                ):
+                    post = evaluate(
+                        self.model, self.val_loader, telemetry=telemetry
+                    )
+                with telemetry.span(
+                    "recover", step=step, layer=name, attempt=attempt
+                ):
+                    report = recover(
+                        self.model,
+                        self.train_loader,
+                        self.val_loader,
+                        self.optimizer,
+                        self.config.recovery,
+                        reference_accuracy=max(
+                            self._best_accuracy, pre.accuracy
+                        ),
+                        on_epoch=on_epoch,
+                        telemetry=telemetry,
+                    )
                 break
             except DivergenceError as err:
                 self._restore_snapshot(snapshot)
+                telemetry.counter("ccq.recovery_retry", layer=name).inc()
+                telemetry.logger.warning(
+                    "recovery diverged; rolled back and retrying",
+                    step=step, layer=name, attempt=attempt,
+                    retries_left=self.config.max_retries - attempt,
+                )
                 if store is not None:
                     store.journal.append(
                         "recovery_retry", step=step, layer=name,
@@ -651,6 +762,16 @@ class CCQQuantizer:
             # All attempts diverged: the snapshot restore above already
             # reverted the bit drop; retire the expert and move on.
             self._forced_asleep.add(winner)
+            telemetry.counter("ccq.expert_skipped", layer=name).inc()
+            telemetry.event(
+                "expert_skipped", step=step, layer=name,
+                from_bits=from_bits, to_bits=to_bits,
+            )
+            telemetry.logger.warning(
+                "expert retired after repeated divergence",
+                step=step, layer=name,
+                attempts=self.retry_policy.max_attempts,
+            )
             if store is not None:
                 store.journal.append(
                     "expert_skipped", step=step, layer=name,
@@ -660,25 +781,59 @@ class CCQQuantizer:
             return None
 
         self._best_accuracy = max(self._best_accuracy, report.end_accuracy)
-        record = StepRecord(
-            step=step,
-            layer_index=winner,
-            layer_name=name,
-            from_bits=from_bits,
-            to_bits=to_bits,
-            lambda_used=result.lambda_used,
-            pre_accuracy=pre.accuracy,
-            post_quant_accuracy=post.accuracy,
-            recovered_accuracy=report.end_accuracy,
-            recovery=report,
-            competition=result,
-            compression=model_size_report(self.model).compression,
-        )
-        if store is not None:
-            store.journal.append(
-                "step_complete", record=record_to_json(record)
+        # Post-step accounting (size report, power trace, journaling) is
+        # real wall-clock; the ``account`` stage span keeps it out of
+        # the report's uncovered remainder.
+        with telemetry.span("account", step=step):
+            compression = model_size_report(self.model).compression
+            record = StepRecord(
+                step=step,
+                layer_index=winner,
+                layer_name=name,
+                from_bits=from_bits,
+                to_bits=to_bits,
+                lambda_used=result.lambda_used,
+                pre_accuracy=pre.accuracy,
+                post_quant_accuracy=post.accuracy,
+                recovered_accuracy=report.end_accuracy,
+                recovery=report,
+                competition=result,
+                compression=compression,
             )
+            telemetry.counter("ccq.steps").inc()
+            telemetry.gauge("ccq.accuracy").set(report.end_accuracy)
+            telemetry.gauge("ccq.compression").set(compression)
+            telemetry.event(
+                "step_complete", step=step, layer=name,
+                from_bits=from_bits, to_bits=to_bits,
+                lambda_used=result.lambda_used,
+                pre_accuracy=pre.accuracy,
+                post_quant_accuracy=post.accuracy,
+                recovered_accuracy=report.end_accuracy,
+                recovery_epochs=report.epochs_used,
+                compression=compression,
+            )
+            self._record_power(step)
+            if store is not None:
+                store.journal.append(
+                    "step_complete", record=record_to_json(record)
+                )
+        telemetry.logger.info(
+            f"step {step:3d}: {name} {from_bits}b->{to_bits}b",
+            valley=post.accuracy, peak=report.end_accuracy,
+            epochs=report.epochs_used, compression=compression,
+        )
         return record
+
+    def _record_power(self, step: int) -> None:
+        """Per-step MAC-power gauge (needs ``config.input_shape``)."""
+        if not self.telemetry.enabled or self.config.input_shape is None:
+            return
+        from ..hardware.power import network_power
+
+        network_power(self.model, self.config.input_shape).record(
+            self.telemetry, step=step
+        )
 
     def run(self, resume: bool = False) -> CCQResult:
         """Execute Algorithm 1 end to end and return the full trace.
@@ -688,6 +843,13 @@ class CCQQuantizer:
         continues the interrupted trajectory exactly; otherwise it starts
         fresh.
         """
+        with self.telemetry.span("run", resume=resume):
+            result = self._run_inner(resume)
+        self.telemetry.flush()
+        return result
+
+    def _run_inner(self, resume: bool) -> CCQResult:
+        telemetry = self.telemetry
         resumed = False
         if resume:
             if self.store is None:
@@ -697,6 +859,10 @@ class CCQQuantizer:
             if self.store.has_checkpoint():
                 self._restore_from_store()
                 resumed = True
+                telemetry.event("resumed", step=self._step)
+                telemetry.logger.info(
+                    "resumed from checkpoint", step=self._step,
+                )
         if not resumed:
             if self.store is not None:
                 self.store.journal.append(
@@ -708,6 +874,10 @@ class CCQQuantizer:
             initial = self.initialize()
             self._initial_eval = initial
             self._best_accuracy = initial.accuracy
+            telemetry.logger.info(
+                "initialized at ladder start",
+                accuracy=initial.accuracy, loss=initial.loss,
+            )
             if self.store is not None:
                 self.store.journal.append(
                     "initialized",
@@ -726,7 +896,14 @@ class CCQQuantizer:
             ):
                 break
             if self.config.target_compression is not None:
-                current = model_size_report(self.model).compression
+                # The last completed step already measured the model
+                # (a skipped step reverts its bit drop, so the figure
+                # stays valid); only a recordless run needs a fresh
+                # report.
+                current = (
+                    records[-1].compression if records
+                    else model_size_report(self.model).compression
+                )
                 if current >= self.config.target_compression:
                     break
 
@@ -734,21 +911,44 @@ class CCQQuantizer:
             if record is not None:
                 records.append(record)
                 self._step += 1
+                telemetry.progress.update(
+                    step=self._step,
+                    total=self.config.max_steps,
+                    layer=f"{record.layer_name}->{record.to_bits}b",
+                    acc=record.recovered_accuracy,
+                    compr=f"{record.compression:.2f}x",
+                )
             self._checkpoint()
+            telemetry.flush()
 
-        final = evaluate(self.model, self.val_loader)
+        telemetry.progress.close()
+        with telemetry.span("eval", stage="final"):
+            final = evaluate(
+                self.model, self.val_loader, telemetry=telemetry
+            )
+        compression = model_size_report(self.model).compression
+        telemetry.gauge("ccq.accuracy").set(final.accuracy)
+        telemetry.gauge("ccq.compression").set(compression)
+        telemetry.event(
+            "run_complete", steps=self._step,
+            accuracy=final.accuracy, compression=compression,
+        )
+        telemetry.logger.info(
+            "run complete", steps=self._step,
+            accuracy=final.accuracy, compression=compression,
+        )
         if self.store is not None:
             self.store.journal.append(
                 "run_complete",
                 steps=self._step,
                 accuracy=final.accuracy,
-                compression=model_size_report(self.model).compression,
+                compression=compression,
             )
         return CCQResult(
             records=records,
             final_eval=final,
             initial_eval=self._initial_eval,
             bit_config=get_bit_config(self.model),
-            compression=model_size_report(self.model).compression,
+            compression=compression,
             probe_forward_passes=self.probe_forward_passes,
         )

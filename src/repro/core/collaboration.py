@@ -72,6 +72,7 @@ def recover(
     reference_accuracy: float,
     scheduler: Optional[LRScheduler] = None,
     on_epoch: Optional[Callable[[int, float, float], None]] = None,
+    telemetry: Optional[object] = None,
 ) -> RecoveryReport:
     """Run the collaboration stage and report the recovery trajectory.
 
@@ -83,7 +84,15 @@ def recover(
     every completed fine-tuning epoch — the fault-tolerant driver uses it
     to journal recovery progress, so an interrupted run's log shows how
     far the collaboration stage got.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`, optional) times
+    each fine-tuning epoch as a ``recover_epoch`` span and tracks the
+    hybrid schedule's learning rate as the ``recover.lr`` gauge.
     """
+    if telemetry is None:
+        from ..telemetry import NULL_TELEMETRY
+
+        telemetry = NULL_TELEMETRY
     if scheduler is None and config.use_hybrid_lr:
         scheduler = HybridPlateauCosine(
             optimizer,
@@ -109,18 +118,23 @@ def recover(
     for _ in range(budget):
         if target is not None and current.accuracy >= target:
             break
-        train_loss = train_epoch(
-            model, train_loader, optimizer,
-            max_batches=config.max_batches_per_epoch,
-        )
-        current = evaluate(model, val_loader)
+        with telemetry.span("recover_epoch", epoch=epochs_used + 1):
+            train_loss = train_epoch(
+                model, train_loader, optimizer,
+                max_batches=config.max_batches_per_epoch,
+                telemetry=telemetry,
+            )
+            current = evaluate(model, val_loader, telemetry=telemetry)
         epochs_used += 1
         history.append(current.accuracy)
         train_losses.append(train_loss)
         if scheduler is not None:
-            lrs.append(scheduler.step(metric=current.accuracy))
+            lr = scheduler.step(metric=current.accuracy)
+            lrs.append(lr)
+            telemetry.gauge("recover.lr").set(lr)
         if on_epoch is not None:
             on_epoch(epochs_used, current.accuracy, train_loss)
+        telemetry.counter("recover.epochs").inc()
 
     recovered = target is None or current.accuracy >= target
     return RecoveryReport(

@@ -100,6 +100,11 @@ class HedgeCompetition:
         exponential-weights update; ``"auto"`` rescales by the running
         mean probe loss, which keeps ``gamma`` meaningful across tasks
         whose loss magnitudes differ wildly.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when live, every
+        probe round emits a ``hedge_round`` event snapshotting the
+        updated distribution (observer only — never part of
+        ``state_dict`` and never touches the trajectory).
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class HedgeCompetition:
         lambda_schedule: Optional[LambdaSchedule] = None,
         rng: Optional[np.random.Generator] = None,
         loss_scale: "float | str" = "auto",
+        telemetry: Optional[object] = None,
     ) -> None:
         if n_layers < 1:
             raise ValueError("need at least one layer")
@@ -123,6 +129,11 @@ class HedgeCompetition:
         self.lambda_schedule = lambda_schedule
         self.rng = rng or np.random.default_rng(0)
         self.loss_scale = loss_scale
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
         # pi starts uniform at 1 (Algorithm 1 line 1).
         self.weights = np.ones(n_layers, dtype=np.float64)
         self._loss_history: List[float] = []
@@ -231,16 +242,42 @@ class HedgeCompetition:
         """
         probes: List[int] = []
         probe_losses: Dict[int, float] = {}
-        for _ in range(self.probes_per_step):
+        telemetry = self.telemetry
+        for round_index in range(self.probes_per_step):
             p = self.probabilities(awake)
             m_u = int(self.rng.choice(self.n_layers, p=p))
             loss = float(evaluate_candidate(m_u))
             self.observe(m_u, loss)
             probes.append(m_u)
             probe_losses[m_u] = loss
+            if telemetry.enabled:
+                # Snapshot the distribution *after* the update so each
+                # event shows the state the next round draws from.
+                telemetry.event(
+                    "hedge_round",
+                    step=step,
+                    round=round_index,
+                    expert=m_u,
+                    loss=loss,
+                    probabilities=[
+                        float(x) for x in self.probabilities(awake)
+                    ],
+                )
         learned = self.probabilities(awake)
         mixed = self.mixed_probabilities(awake, layer_sizes, step)
         winner = int(self.rng.choice(self.n_layers, p=mixed))
+        if telemetry.enabled:
+            telemetry.event(
+                "hedge_winner",
+                step=step,
+                winner=winner,
+                lambda_used=(
+                    self.lambda_schedule.value(step)
+                    if self.lambda_schedule is not None else 0.0
+                ),
+                learned=[float(x) for x in learned],
+                mixed=[float(x) for x in mixed],
+            )
         lam = (
             self.lambda_schedule.value(step)
             if self.lambda_schedule is not None

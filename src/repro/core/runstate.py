@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -235,8 +236,23 @@ class RunJournal:
         return max(int(e.get("seq", -1)) for e in events) + 1
 
     def append(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Durably append one event line and return it."""
-        entry = {"seq": self._seq, "event": event, **fields}
+        """Durably append one event line and return it.
+
+        Every entry carries ``seq`` (monotone counter), ``ts`` (wall
+        clock, ``time.time()``) and ``mono`` (``time.perf_counter()``)
+        so journal entries can be correlated with telemetry events
+        post-hoc: ``mono`` orders events robustly within one process
+        (immune to clock steps), ``ts`` aligns across processes.
+        Readers treat both as optional, so journals written before
+        these fields existed stay readable.
+        """
+        entry = {
+            "seq": self._seq,
+            "event": event,
+            "ts": time.time(),
+            "mono": time.perf_counter(),
+            **fields,
+        }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as f:
             f.write(json.dumps(entry) + "\n")

@@ -9,6 +9,7 @@ no-grad evaluation pass returning loss and top-1 accuracy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
@@ -60,6 +61,7 @@ def evaluate(
     loader: DataLoader,
     max_batches: Optional[int] = None,
     check_divergence: bool = True,
+    telemetry: Optional[object] = None,
 ) -> EvalResult:
     """Feed-forward evaluation: mean loss and top-1 accuracy.
 
@@ -68,7 +70,13 @@ def evaluate(
     With ``check_divergence`` (the default) a NaN/Inf batch loss raises
     :class:`~repro.core.resilience.DivergenceError` instead of silently
     poisoning the mean.
+
+    ``telemetry`` (a live :class:`repro.telemetry.Telemetry`) records
+    throughput into the ``eval.samples_per_sec`` histogram; the default
+    ``None`` adds zero work to the hot path.
     """
+    observe = telemetry is not None and getattr(telemetry, "enabled", False)
+    t0 = time.perf_counter() if observe else 0.0
     was_training = model.training
     model.eval()
     total_loss = 0.0
@@ -95,6 +103,12 @@ def evaluate(
         model.train()
     if total == 0:
         raise RuntimeError("evaluation loader produced no batches")
+    if observe:
+        elapsed = time.perf_counter() - t0
+        telemetry.histogram("eval.samples_per_sec").observe(
+            total / max(elapsed, 1e-9)
+        )
+        telemetry.counter("eval.samples").inc(total)
     return EvalResult(total_loss / total, total_correct / total, total)
 
 
@@ -104,6 +118,7 @@ def train_epoch(
     optimizer: Optimizer,
     max_batches: Optional[int] = None,
     check_divergence: bool = True,
+    telemetry: Optional[object] = None,
 ) -> float:
     """One quantization-aware SGD epoch; returns the mean training loss.
 
@@ -116,12 +131,19 @@ def train_epoch(
     loss or any parameter gradient goes NaN/Inf — *before* the optimizer
     applies the poisoned update — so a rollback policy can restore the
     last good snapshot instead of training on garbage.
+
+    ``telemetry`` (a live :class:`repro.telemetry.Telemetry`) records
+    ``train.samples_per_sec`` and the current learning rate.
     """
+    observe = telemetry is not None and getattr(telemetry, "enabled", False)
+    t0 = time.perf_counter() if observe else 0.0
+    n_samples = 0
     model.train()
     losses: List[float] = []
     for batch_index, (images, targets) in enumerate(loader):
         if max_batches is not None and batch_index >= max_batches:
             break
+        n_samples += len(targets)
         optimizer.zero_grad()
         logits = model(Tensor(images))
         loss = F.cross_entropy(logits, targets)
@@ -144,6 +166,13 @@ def train_epoch(
         losses.append(loss.item())
     if not losses:
         raise RuntimeError("training loader produced no batches")
+    if observe:
+        elapsed = time.perf_counter() - t0
+        telemetry.histogram("train.samples_per_sec").observe(
+            n_samples / max(elapsed, 1e-9)
+        )
+        telemetry.counter("train.samples").inc(n_samples)
+        telemetry.gauge("train.lr").set(optimizer.lr)
     return float(np.mean(losses))
 
 

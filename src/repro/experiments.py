@@ -107,7 +107,9 @@ class Task:
         return Path(cache_dir) / f"pretrain-{self.name}-{self.scale.name}.npz"
 
     def pretrained_model(
-        self, cache_dir: Optional[Union[str, Path]] = None
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        log: Optional[object] = None,
     ) -> Tuple[Module, float]:
         """A pretrained float model + its baseline accuracy.
 
@@ -119,7 +121,16 @@ class Task:
         disk (crash-safe, via ``repro.nn.serialization``), so a resumed
         or repeated run skips the pretraining cost entirely.  A stale or
         incompatible cache file is retrained from scratch, not trusted.
+
+        ``log`` is an optional structured logger
+        (:class:`repro.telemetry.StructuredLogger`); pretraining is the
+        single largest silent cost of a run, so callers that have one
+        should pass it.
         """
+        if log is None:
+            from .telemetry import NULL_TELEMETRY
+
+            log = NULL_TELEMETRY.logger
         cache_path = (
             self._pretrain_cache_path(cache_dir)
             if cache_dir is not None else None
@@ -131,9 +142,23 @@ class Task:
                     extra = load_checkpoint(model, cache_path)
                     self._pretrained_state = model.state_dict()
                     self.baseline_accuracy = float(extra["baseline_accuracy"])
+                    log.info(
+                        "restored cached pretrain checkpoint",
+                        path=str(cache_path),
+                        accuracy=self.baseline_accuracy,
+                    )
                 except (CheckpointError, KeyError, ValueError):
+                    log.warning(
+                        "pretrain cache unusable; retraining from scratch",
+                        path=str(cache_path),
+                    )
                     self._pretrained_state = None
         if self._pretrained_state is None:
+            log.info(
+                "pretraining float baseline...",
+                task=self.name, scale=self.scale.name,
+                epochs=self.scale.pretrain_epochs,
+            )
             model = self.make_model()
             train, val = self.loaders()
             result = pretrain(
@@ -147,11 +172,17 @@ class Task:
             )
             self._pretrained_state = model.state_dict()
             self.baseline_accuracy = result.baseline_accuracy
+            log.info(
+                "pretraining complete", accuracy=self.baseline_accuracy,
+            )
             if cache_path is not None:
                 cache_path.parent.mkdir(parents=True, exist_ok=True)
                 save_checkpoint(
                     model, cache_path,
                     extra={"baseline_accuracy": self.baseline_accuracy},
+                )
+                log.debug(
+                    "pretrain checkpoint cached", path=str(cache_path),
                 )
         model = self.make_model()
         model.load_state_dict(self._pretrained_state)

@@ -72,6 +72,37 @@ class PowerReport:
     def by_layer(self) -> Dict[str, LayerPower]:
         return {layer.name: layer for layer in self.layers}
 
+    def record(self, telemetry: object, step: Optional[int] = None) -> None:
+        """Push this report into a telemetry handle as gauges.
+
+        ``telemetry`` is a :class:`repro.telemetry.Telemetry` (duck
+        typed so the hardware model stays importable without it).
+        Writes ``power.total_watts`` / ``power.edge_watts`` /
+        ``power.middle_watts`` plus one labeled ``power.layer_watts``
+        gauge per layer, and — when ``step`` is given — a
+        ``power_sample`` event so the per-step energy trajectory can be
+        reconstructed from ``events.jsonl``.
+        """
+        if not getattr(telemetry, "enabled", False):
+            return
+        telemetry.gauge("power.total_watts").set(self.total_watts)
+        telemetry.gauge("power.edge_watts").set(self.edge_watts)
+        telemetry.gauge("power.middle_watts").set(self.middle_watts)
+        for layer in self.layers:
+            telemetry.gauge("power.layer_watts", layer=layer.name).set(
+                layer.power_watts
+            )
+        if step is not None:
+            telemetry.event(
+                "power_sample",
+                step=step,
+                total_watts=self.total_watts,
+                edge_watts=self.edge_watts,
+                middle_watts=self.middle_watts,
+                fps=self.fps,
+                node=self.node,
+            )
+
 
 def _layer_power(
     entry: LayerMACs,

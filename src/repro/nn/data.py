@@ -84,6 +84,11 @@ class DataLoader:
 
     Yields ``(images, labels)`` ndarray pairs; images are stacked into an
     ``(B, C, H, W)`` float array and labels into an int vector.
+
+    The loader keeps lifetime throughput counters
+    (``batches_served`` / ``samples_served``) so callers — e.g. the
+    telemetry layer — can report data-pipeline throughput without the
+    ``nn`` substrate depending on anything outside itself.
     """
 
     def __init__(
@@ -101,6 +106,8 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
+        self.batches_served = 0
+        self.samples_served = 0
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -122,6 +129,8 @@ class DataLoader:
                 image, label = self.dataset[int(i)]
                 images.append(image)
                 labels.append(label)
+            self.batches_served += 1
+            self.samples_served += len(labels)
             yield np.stack(images), np.asarray(labels, dtype=np.int64)
 
 

@@ -1,0 +1,59 @@
+"""``repro.telemetry`` — dependency-free observability for CCQ runs.
+
+Three cooperating parts behind one facade (:class:`Telemetry`):
+
+* a **metrics registry** — counters, gauges, histograms (exact
+  p50/p90/p99) and timers with labeled series, snapshotting to
+  ``metrics.json`` / ``metrics.csv``;
+* a **span tracer** — nested wall-clock spans for every CCQ stage,
+  flushed to an append-only ``events.jsonl``;
+* a **structured logger** + live progress line replacing bare prints.
+
+The disabled path is :data:`NULL_TELEMETRY`, a shared singleton whose
+operations are allocation-free no-ops, so instrumentation costs nothing
+when switched off (the default everywhere).
+"""
+
+from .core import NULL_TELEMETRY, Telemetry
+from .events import EventSink, JsonlSink, MemorySink, NullSink, read_events
+from .logging import LEVELS, ProgressLine, StructuredLogger, format_eta
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .report import (
+    RunTelemetry,
+    STAGES,
+    format_report,
+    load_run,
+    stage_breakdown,
+    trajectory,
+    write_trajectory_svg,
+)
+from .spans import NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "SpanTracer",
+    "NullTracer",
+    "Span",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "read_events",
+    "StructuredLogger",
+    "ProgressLine",
+    "LEVELS",
+    "format_eta",
+    "RunTelemetry",
+    "STAGES",
+    "load_run",
+    "stage_breakdown",
+    "trajectory",
+    "format_report",
+    "write_trajectory_svg",
+]

@@ -1,0 +1,107 @@
+"""Event sinks: where structured telemetry events go.
+
+Every span, log line and structured event is one JSON-ready dict; a
+sink is anything with ``emit(dict)``.  Three implementations cover the
+whole lifecycle:
+
+* :class:`JsonlSink` — the production sink: an append-only
+  ``events.jsonl`` file next to the run journal.  Unlike the journal
+  (which fsyncs every line because resume correctness depends on it),
+  telemetry only flushes — losing the last buffered events in a crash
+  costs observability, not correctness.
+* :class:`MemorySink` — collects events in a list; the test sink.
+* :class:`NullSink` — swallows everything; the telemetry-off path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["EventSink", "JsonlSink", "MemorySink", "NullSink", "read_events"]
+
+
+class EventSink:
+    """Interface: accepts JSON-ready event dicts."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Discards every event (the disabled-telemetry sink)."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps events in memory; used by tests and in-process reporting."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Append-only JSONL file sink (one event per line).
+
+    The file is opened lazily on the first emit so constructing a sink
+    for a run that never produces events leaves no empty file behind.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file: Optional[Any] = None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(json.dumps(event, default=_json_fallback) + "\n")
+        self._file.flush()
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _json_fallback(value: Any) -> Any:
+    """Serialize numpy scalars/arrays and other oddballs defensively."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return repr(value)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All parseable events from a JSONL file (tolerates a torn tail)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail from a crash; nothing valid follows
+    return events

@@ -1,0 +1,161 @@
+"""Structured, leveled logging and the live progress line.
+
+The runtime used to narrate itself with bare ``print()``; this module
+replaces that with:
+
+* :class:`StructuredLogger` — leveled (``debug`` < ``info`` <
+  ``warning`` < ``error`` < ``silent``) human-readable lines with
+  ``key=value`` fields, optionally mirrored as structured ``log``
+  events into the telemetry sink so post-hoc analysis sees what the
+  operator saw;
+* :class:`ProgressLine` — a single carriage-return-updated status line
+  (step, layer/bits, accuracy, compression, ETA) for interactive runs.
+
+Errors go to ``error_stream`` (stderr by default when a separate one is
+given) so data output piped from stdout stays clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .events import EventSink
+
+__all__ = ["LEVELS", "StructuredLogger", "ProgressLine", "format_eta"]
+
+LEVELS: Dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+    "silent": 100,
+}
+
+
+def _level_value(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+def format_eta(seconds: float) -> str:
+    """``MM:SS`` (or ``H:MM:SS``) for a non-negative duration."""
+    seconds = max(int(seconds), 0)
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}:{m:02d}:{s:02d}"
+    return f"{m:02d}:{s:02d}"
+
+
+class StructuredLogger:
+    """Leveled logger writing human lines and (optionally) sink events."""
+
+    def __init__(
+        self,
+        level: str = "info",
+        stream: Optional[TextIO] = None,
+        error_stream: Optional[TextIO] = None,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self._level = _level_value(level)
+        self.level = level
+        self.stream = stream if stream is not None else sys.stderr
+        self.error_stream = (
+            error_stream if error_stream is not None else self.stream
+        )
+        self.sink = sink
+
+    def enabled_for(self, level: str) -> bool:
+        return _level_value(level) >= self._level
+
+    def log(self, level: str, msg: str, **fields: Any) -> None:
+        if not self.enabled_for(level):
+            return
+        now = time.time()
+        if self.sink is not None:
+            self.sink.emit({
+                "type": "log", "level": level, "ts": now,
+                "msg": msg, **({"fields": fields} if fields else {}),
+            })
+        stamp = time.strftime("%H:%M:%S", time.localtime(now))
+        suffix = "".join(
+            f" {key}={_render(value)}" for key, value in fields.items()
+        )
+        stream = (
+            self.error_stream if _level_value(level) >= LEVELS["warning"]
+            else self.stream
+        )
+        stream.write(f"{stamp} {level.upper():<7} {msg}{suffix}\n")
+        stream.flush()
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        self.log("debug", msg, **fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self.log("info", msg, **fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self.log("warning", msg, **fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self.log("error", msg, **fields)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class ProgressLine:
+    """One live, overwritten status line for interactive CCQ runs.
+
+    ``update()`` rewrites the line in place (``\\r``); ``close()``
+    terminates it with a newline.  When ``enabled`` is false every call
+    is a no-op, so callers never need to guard.
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, enabled: bool = True
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._started: Optional[float] = None
+        self._last_width = 0
+        self._wrote = False
+
+    def update(
+        self,
+        step: int,
+        total: Optional[int] = None,
+        **stats: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self._started is None:
+            self._started = now
+        parts = [f"step {step}" + (f"/{total}" if total else "")]
+        parts += [f"{key} {_render(value)}" for key, value in stats.items()]
+        if total and step > 0:
+            per_step = (now - self._started) / step
+            parts.append(f"eta {format_eta(per_step * (total - step))}")
+        line = " | ".join(parts)
+        pad = max(self._last_width - len(line), 0)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last_width = len(line)
+        self._wrote = True
+
+    def close(self) -> None:
+        if self.enabled and self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._wrote = False
+            self._last_width = 0

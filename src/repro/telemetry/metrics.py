@@ -1,0 +1,260 @@
+"""The metrics registry: counters, gauges, histograms and timers.
+
+A dependency-free (stdlib-only) metrics layer in the spirit of a
+Prometheus client, sized for a single long-running CCQ search rather
+than a fleet: metrics live in one in-process :class:`MetricsRegistry`,
+series are keyed by ``(name, labels)``, and the whole registry
+snapshots to JSON (``metrics.json``) or CSV for post-hoc analysis by
+``repro report-run``.
+
+Design constraints:
+
+* **Bounded memory** — histograms keep raw observations (a CCQ run
+  produces thousands, not millions, of samples), but label cardinality
+  per metric name is capped; series beyond the cap collapse into a
+  single ``overflow="true"`` series instead of growing without bound.
+* **Never kill the run** — recording a metric must not raise in normal
+  operation; telemetry is an observer, not a participant.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value = (self.value or 0.0) + float(delta)
+
+
+class Histogram:
+    """A distribution summarized by count/sum/min/max/mean and percentiles.
+
+    Raw observations are kept (bounded by run length, not traffic), so
+    percentiles are exact up to linear interpolation between order
+    statistics — no bucket-boundary error.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isfinite(value):
+            self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact percentile ``q`` in [0, 100], linearly interpolated."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, Any]:
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p90": None, "p99": None}
+        total = sum(self.values)
+        return {
+            "count": len(self.values),
+            "sum": total,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": total / len(self.values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class Timer:
+    """Context manager observing elapsed seconds into a histogram."""
+
+    __slots__ = ("histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._start is not None:
+            self.histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Labeled metric series, created on first use.
+
+    ``registry.counter("ccq.retries", layer="conv1").inc()`` — the
+    ``(name, labels)`` pair identifies one series; asking for the same
+    pair again returns the same metric object.  Requesting an existing
+    name with a different metric *type* raises, which catches the
+    classic "histogram and counter share a name" bug at the call site.
+    """
+
+    METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self, max_series_per_name: int = 512) -> None:
+        if max_series_per_name < 1:
+            raise ValueError("max_series_per_name must be >= 1")
+        self.max_series_per_name = max_series_per_name
+        self._series: Dict[str, Dict[LabelKey, Any]] = {}
+        self._types: Dict[str, str] = {}
+        self.dropped_series = 0
+
+    def _get(self, kind: str, name: str, labels: Dict[str, Any]) -> Any:
+        existing = self._types.get(name)
+        if existing is None:
+            self._types[name] = kind
+        elif existing != kind:
+            raise TypeError(
+                f"metric {name!r} is a {existing}, requested as {kind}"
+            )
+        series = self._series.setdefault(name, {})
+        key = _label_key(labels)
+        metric = series.get(key)
+        if metric is None:
+            if len(series) >= self.max_series_per_name:
+                # Cardinality guard: collapse the overflow into one
+                # shared series instead of growing without bound (or
+                # killing the run it is observing).
+                self.dropped_series += 1
+                key = _label_key({"overflow": "true"})
+                metric = series.get(key)
+                if metric is None:
+                    metric = self.METRIC_TYPES[kind]()
+                    series[key] = metric
+                return metric
+            metric = self.METRIC_TYPES[kind]()
+            series[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def timer(self, name: str, **labels: Any) -> Timer:
+        return Timer(self._get("histogram", name, labels))
+
+    # -- export ---------------------------------------------------------
+
+    def series(self) -> Iterable[Tuple[str, str, Dict[str, str], Any]]:
+        """Yield ``(name, kind, labels, metric)`` for every series."""
+        for name in sorted(self._series):
+            kind = self._types[name]
+            for key in sorted(self._series[name]):
+                yield name, kind, dict(key), self._series[name][key]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as JSON-ready values (stable ordering)."""
+        out: Dict[str, Any] = {"counters": [], "gauges": [], "histograms": []}
+        for name, kind, labels, metric in self.series():
+            entry: Dict[str, Any] = {"name": name, "labels": labels}
+            if kind == "counter":
+                entry["value"] = metric.value
+                out["counters"].append(entry)
+            elif kind == "gauge":
+                entry["value"] = metric.value
+                out["gauges"].append(entry)
+            else:
+                entry.update(metric.summary())
+                out["histograms"].append(entry)
+        if self.dropped_series:
+            out["dropped_series"] = self.dropped_series
+        return out
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        payload = dict(self.snapshot())
+        payload["written_at"] = time.time()
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+
+    def to_csv(self) -> str:
+        """Flat CSV: one row per scalar (histograms expand to summaries)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["name", "labels", "type", "field", "value"])
+        for name, kind, labels, metric in self.series():
+            label_text = ",".join(f"{k}={v}" for k, v in labels.items())
+            if kind in ("counter", "gauge"):
+                writer.writerow([name, label_text, kind, "value",
+                                 metric.value])
+            else:
+                for field, value in metric.summary().items():
+                    writer.writerow([name, label_text, kind, field, value])
+        return buf.getvalue()
+
+    def write_csv(self, path: Union[str, Path]) -> None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as f:
+            f.write(self.to_csv())

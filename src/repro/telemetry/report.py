@@ -1,0 +1,299 @@
+"""Render a finished run's telemetry into human-readable reports.
+
+``repro report-run <dir>`` feeds ``events.jsonl`` + ``metrics.json``
+through this module to answer the two questions a long CCQ search
+raises: *where did the wall-clock go* (per-stage breakdown) and *what
+did the search do* (accuracy/compression trajectory per step).
+
+Stage accounting is **exclusive at the stage level**: a stage span
+nested inside another stage span (e.g. an ``eval`` issued inside
+``recover``) is charged to its outermost stage ancestor only, so the
+breakdown never double counts and its coverage of the ``run`` span is
+meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .core import EVENTS_FILE, METRICS_FILE
+from .events import read_events
+
+__all__ = [
+    "STAGES",
+    "RunTelemetry",
+    "StageTotal",
+    "load_run",
+    "stage_breakdown",
+    "trajectory",
+    "format_report",
+    "write_trajectory_svg",
+]
+
+# The span names charged as top-level stages of a CCQ run, in report
+# order.  Everything else (winner draws, journal appends, ...) is
+# uninstrumented overhead and shows up as the coverage gap.
+STAGES = (
+    "initialize", "probe", "recover", "eval", "snapshot", "account",
+    "checkpoint",
+)
+
+
+@dataclass
+class StageTotal:
+    """Aggregate wall-clock of one stage across the run."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class RunTelemetry:
+    """Parsed telemetry of one run directory."""
+
+    directory: Path
+    events: List[Dict[str, Any]]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e.get("type") == "span"]
+
+    def named_events(self, name: str) -> List[Dict[str, Any]]:
+        return [
+            e for e in self.events
+            if e.get("type") == "event" and e.get("name") == name
+        ]
+
+
+def load_run(directory: Union[str, Path]) -> RunTelemetry:
+    """Load ``events.jsonl`` + ``metrics.json`` from a run directory."""
+    directory = Path(directory)
+    events_path = directory / EVENTS_FILE
+    if not events_path.exists():
+        raise FileNotFoundError(
+            f"no telemetry found in {directory} (missing {EVENTS_FILE}); "
+            f"was the run started with --telemetry-dir?"
+        )
+    events = read_events(events_path)
+    metrics: Dict[str, Any] = {}
+    metrics_path = directory / METRICS_FILE
+    if metrics_path.exists():
+        with open(metrics_path, "r", encoding="utf-8") as f:
+            metrics = json.load(f)
+    return RunTelemetry(directory=directory, events=events, metrics=metrics)
+
+
+def stage_breakdown(
+    run: RunTelemetry,
+) -> Dict[str, Any]:
+    """Per-stage exclusive wall-clock totals and run coverage.
+
+    Returns ``{"total_s", "stages": {name: StageTotal}, "covered_s",
+    "coverage"}`` where coverage is covered/total (0 when no ``run``
+    span exists — e.g. the run crashed before finishing).
+    """
+    spans = run.spans
+    by_id = {s["id"]: s for s in spans if "id" in s}
+    totals = {name: StageTotal(name) for name in STAGES}
+
+    def outermost_stage(span: Dict[str, Any]) -> bool:
+        parent = span.get("parent")
+        while parent is not None:
+            ancestor = by_id.get(parent)
+            if ancestor is None:
+                break
+            if ancestor.get("name") in totals:
+                return False
+            parent = ancestor.get("parent")
+        return True
+
+    for span in spans:
+        name = span.get("name")
+        if name not in totals or not outermost_stage(span):
+            continue
+        duration = float(span.get("duration_s", 0.0))
+        entry = totals[name]
+        entry.count += 1
+        entry.total_s += duration
+        entry.max_s = max(entry.max_s, duration)
+
+    run_spans = [s for s in spans if s.get("name") == "run"]
+    total = (
+        sum(float(s.get("duration_s", 0.0)) for s in run_spans)
+        if run_spans
+        else sum(t.total_s for t in totals.values())
+    )
+    covered = sum(t.total_s for t in totals.values())
+    return {
+        "total_s": total,
+        "stages": totals,
+        "covered_s": covered,
+        "coverage": covered / total if total > 0 else 0.0,
+    }
+
+
+def trajectory(run: RunTelemetry) -> List[Dict[str, Any]]:
+    """Per-step search trajectory from the ``step_complete`` events."""
+    rows = []
+    for event in run.named_events("step_complete"):
+        fields = event.get("fields", {})
+        rows.append({
+            "step": fields.get("step"),
+            "layer": fields.get("layer"),
+            "from_bits": fields.get("from_bits"),
+            "to_bits": fields.get("to_bits"),
+            "valley": fields.get("post_quant_accuracy"),
+            "peak": fields.get("recovered_accuracy"),
+            "compression": fields.get("compression"),
+            "epochs": fields.get("recovery_epochs"),
+        })
+    rows.sort(key=lambda r: (r["step"] is None, r["step"]))
+    return rows
+
+
+def _metric_value(
+    metrics: Dict[str, Any], kind: str, name: str
+) -> Optional[Any]:
+    for entry in metrics.get(kind, []):
+        if entry.get("name") == name and not entry.get("labels"):
+            return entry
+    return None
+
+
+def format_report(run: RunTelemetry) -> str:
+    """The full plain-text report for ``repro report-run``."""
+    lines: List[str] = [f"telemetry report: {run.directory}", ""]
+
+    breakdown = stage_breakdown(run)
+    total = breakdown["total_s"]
+    lines.append("per-stage wall-clock breakdown")
+    lines.append(
+        f"{'stage':<12} {'count':>6} {'total s':>10} "
+        f"{'mean s':>9} {'max s':>9} {'share':>7}"
+    )
+    for name in STAGES:
+        entry = breakdown["stages"][name]
+        share = entry.total_s / total if total > 0 else 0.0
+        lines.append(
+            f"{name:<12} {entry.count:>6d} {entry.total_s:>10.3f} "
+            f"{entry.mean_s:>9.4f} {entry.max_s:>9.4f} {share:>6.1%}"
+        )
+    lines.append(
+        f"{'covered':<12} {'':>6} {breakdown['covered_s']:>10.3f} "
+        f"{'':>9} {'':>9} {breakdown['coverage']:>6.1%}"
+    )
+    lines.append(f"{'total':<12} {'':>6} {total:>10.3f}")
+    lines.append("")
+
+    rows = trajectory(run)
+    if rows:
+        lines.append("accuracy / compression trajectory")
+        lines.append(
+            f"{'step':>4} {'layer':<24} {'bits':>7} {'valley':>8} "
+            f"{'peak':>8} {'compr':>7} {'epochs':>6}"
+        )
+        for row in rows:
+            bits = f"{row['from_bits']}->{row['to_bits']}b"
+            lines.append(
+                f"{row['step']:>4} {str(row['layer']):<24} {bits:>7} "
+                f"{_fmt(row['valley']):>8} {_fmt(row['peak']):>8} "
+                f"{_fmt(row['compression'], 'x'):>7} "
+                f"{row['epochs'] if row['epochs'] is not None else '-':>6}"
+            )
+        lines.append("")
+
+    counters = run.metrics.get("counters", [])
+    resilience = [
+        c for c in counters
+        if c["name"].startswith(("ccq.divergence", "ccq.retry", "ccq.skip",
+                                 "ccq.probe_divergence", "ccq.recovery"))
+    ]
+    if resilience:
+        lines.append("resilience counters")
+        for entry in resilience:
+            label_text = "".join(
+                f" {k}={v}" for k, v in entry.get("labels", {}).items()
+            )
+            lines.append(
+                f"  {entry['name']}{label_text}: {entry['value']:g}"
+            )
+        lines.append("")
+
+    histograms = run.metrics.get("histograms", [])
+    if histograms:
+        lines.append("histograms (p50 / p90 / p99)")
+        for entry in histograms:
+            if not entry.get("count"):
+                continue
+            label_text = "".join(
+                f" {k}={v}" for k, v in entry.get("labels", {}).items()
+            )
+            lines.append(
+                f"  {entry['name']}{label_text}: n={entry['count']} "
+                f"p50={_fmt(entry['p50'])} p90={_fmt(entry['p90'])} "
+                f"p99={_fmt(entry['p99'])}"
+            )
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float], suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3f}{suffix}"
+
+
+def write_trajectory_svg(
+    run: RunTelemetry, path: Union[str, Path]
+) -> Optional[Path]:
+    """Accuracy + compression trajectory as an SVG line chart.
+
+    Returns the written path, or ``None`` when the run has no completed
+    steps to plot.
+    """
+    from ..utils.svg import Series, line_chart
+
+    rows = [
+        r for r in trajectory(run)
+        if r["step"] is not None and r["peak"] is not None
+    ]
+    if not rows:
+        return None
+    steps = [float(r["step"]) for r in rows]
+    series = [
+        Series("recovered accuracy", steps,
+               [float(r["peak"]) for r in rows]),
+    ]
+    if all(r["valley"] is not None for r in rows):
+        series.append(
+            Series("post-quant valley", steps,
+                   [float(r["valley"]) for r in rows])
+        )
+    if all(r["compression"] is not None for r in rows):
+        max_compr = max(float(r["compression"]) for r in rows)
+        if max_compr > 0:
+            series.append(Series(
+                "compression (scaled)", steps,
+                [float(r["compression"]) / max_compr for r in rows],
+            ))
+    svg = line_chart(
+        series,
+        title="CCQ trajectory",
+        x_label="quantization step",
+        y_label="accuracy / scaled compression",
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg, encoding="utf-8")
+    return path

@@ -1,0 +1,139 @@
+"""Wall-clock span tracing for the stages of a CCQ run.
+
+A *span* is a named, attributed, nested timing: ``with tracer.span(
+"probe", expert="conv1"):`` measures one probe evaluation; the spans it
+opens while active become its children.  One event is emitted per span
+at exit (spans of a crashed run are lost only for the frames that never
+exited — everything completed before the crash is already on disk).
+
+Span events carry ``id`` / ``parent`` / ``depth`` so a reporter can
+rebuild the tree and compute *exclusive* stage totals without double
+counting nested stages — see :mod:`repro.telemetry.report`.
+
+The disabled path matters as much as the enabled one: a CCQ step may
+open hundreds of spans, so :class:`NullTracer` returns one shared,
+allocation-free context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from .events import EventSink
+
+__all__ = ["SpanTracer", "NullTracer", "Span"]
+
+
+class Span:
+    """One live span; becomes an event when it exits."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "depth", "start_mono", "start_wall", "error")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_mono = 0.0
+        self.start_wall = 0.0
+        self.error: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        self.start_mono = time.perf_counter()
+        self.start_wall = time.time()
+        self.tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        duration = time.perf_counter() - self.start_mono
+        # Unwind even if an inner frame failed to pop (defensive).
+        stack = self.tracer._stack
+        while stack and stack[-1] != self.span_id:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self.tracer._emit(self, duration)
+        return False  # never swallow exceptions
+
+
+class SpanTracer:
+    """Produces nested spans and writes them to an event sink."""
+
+    def __init__(self, sink: EventSink) -> None:
+        self.sink = sink
+        self._stack: List[int] = []
+        self._next_id = 0
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(
+            tracer=self,
+            name=name,
+            attrs=attrs,
+            span_id=span_id,
+            parent_id=parent,
+            depth=len(self._stack),
+        )
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    def _emit(self, span: Span, duration: float) -> None:
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "ts": span.start_wall,
+            "mono": span.start_mono,
+            "duration_s": duration,
+        }
+        if span.attrs:
+            event["attrs"] = span.attrs
+        if span.error is not None:
+            event["error"] = span.error
+        self.sink.emit(event)
+
+
+class _NullSpan:
+    """Shared no-op context manager for the telemetry-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Allocation-free tracer: every span is the same no-op object."""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def active_depth(self) -> int:
+        return 0

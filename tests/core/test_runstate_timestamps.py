@@ -1,0 +1,59 @@
+"""Journal entries carry correlatable timestamps (PR 2, satellite c).
+
+Every appended entry records both ``ts`` (wall clock) and ``mono``
+(monotonic), so journal events can be lined up against telemetry events
+post-hoc.  Journals written before these fields existed must remain
+readable.
+"""
+
+import json
+import time
+
+from repro.core.runstate import RunJournal
+
+
+class TestJournalTimestamps:
+    def test_entries_carry_both_clocks(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        before_ts, before_mono = time.time(), time.perf_counter()
+        entry = journal.append("run_start", seed=0)
+        after_ts, after_mono = time.time(), time.perf_counter()
+
+        assert before_ts <= entry["ts"] <= after_ts
+        assert before_mono <= entry["mono"] <= after_mono
+        # And the persisted line matches what was returned.
+        (stored,) = journal.events()
+        assert stored["ts"] == entry["ts"]
+        assert stored["mono"] == entry["mono"]
+        assert stored["seq"] == 0
+        assert stored["seed"] == 0
+
+    def test_mono_is_monotone_across_appends(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        monos = [journal.append("tick", i=i)["mono"] for i in range(5)]
+        assert monos == sorted(monos)
+
+    def test_timestamps_do_not_clobber_user_fields(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        entry = journal.append("custom", ts_label="mine", step=3)
+        assert entry["ts_label"] == "mine"
+        assert entry["step"] == 3
+        assert isinstance(entry["ts"], float)
+
+    def test_old_format_journals_stay_readable(self, tmp_path):
+        """A journal written before ts/mono existed resumes cleanly."""
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"seq": 0, "event": "run_start"}) + "\n")
+            f.write(json.dumps(
+                {"seq": 1, "event": "step_complete", "step": 0}
+            ) + "\n")
+
+        journal = RunJournal(path)
+        events = journal.events()
+        assert [e["event"] for e in events] == ["run_start", "step_complete"]
+        assert all("ts" not in e for e in events)  # old lines untouched
+        # New appends continue the sequence and add the new fields.
+        entry = journal.append("step_complete", step=1)
+        assert entry["seq"] == 2
+        assert "ts" in entry and "mono" in entry

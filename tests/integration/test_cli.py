@@ -76,3 +76,99 @@ class TestRunCCQ:
         assert code == 0
         printed = capsys.readouterr().out
         assert "block granularity" in printed
+
+
+class TestTelemetryCLI:
+    """--telemetry-dir + report-run end-to-end (PR 2 tentpole)."""
+
+    def test_run_writes_telemetry_and_report_parses_it(
+        self, capsys, tmp_path
+    ):
+        telem = tmp_path / "telem"
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--probes", "2",
+            "--max-steps", "3",
+            "--no-progress",
+            "--telemetry-dir", str(telem),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        events_file = telem / "events.jsonl"
+        metrics_file = telem / "metrics.json"
+        assert events_file.exists() and metrics_file.exists()
+
+        from repro.telemetry import read_events
+
+        events = read_events(events_file)
+        span_names = {
+            e["name"] for e in events if e["type"] == "span"
+        }
+        # Every CCQ stage produced spans, plus the enclosing run.
+        assert {"run", "initialize", "probe", "recover", "eval",
+                "checkpoint"} <= span_names
+        assert any(
+            e["type"] == "event" and e["name"] == "step_complete"
+            for e in events
+        )
+        # Log lines are mirrored into the sink.
+        assert any(e["type"] == "log" for e in events)
+
+        metrics = json.loads(metrics_file.read_text())
+        counter_names = {c["name"] for c in metrics["counters"]}
+        # Resilience counters exist even when the run was clean.
+        assert {"ccq.steps", "ccq.probe_divergence", "ccq.recovery_retry",
+                "ccq.expert_skipped"} <= counter_names
+        gauge_names = {g["name"] for g in metrics["gauges"]}
+        assert {"ccq.accuracy", "ccq.compression", "ccq.layer_bits",
+                "hedge.expert_weight"} <= gauge_names
+        hist_names = {h["name"] for h in metrics["histograms"]}
+        assert "ccq.probe_loss" in hist_names
+
+        # report-run renders the directory (and writes the SVG).
+        svg = tmp_path / "traj.svg"
+        code = main(["report-run", str(telem), "--svg", str(svg)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "per-stage wall-clock breakdown" in printed
+        assert "accuracy / compression trajectory" in printed
+        assert svg.exists()
+
+    def test_report_run_on_missing_directory_errors(self, capsys, tmp_path):
+        code = main(["report-run", str(tmp_path / "nope")])
+        assert code == 2
+        assert "telemetry" in capsys.readouterr().err
+
+    def test_run_without_telemetry_dir_writes_nothing(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--probes", "1",
+            "--max-steps", "1",
+            "--no-progress",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("**/events.jsonl"))
+        assert not list(tmp_path.glob("**/metrics.json"))
+
+    def test_log_level_filters_diagnostics(self, capsys):
+        code = main([
+            "--log-level", "error",
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--probes", "1",
+            "--max-steps", "1",
+            "--no-progress",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "baseline accuracy" not in printed

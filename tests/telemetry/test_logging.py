@@ -1,0 +1,122 @@
+"""Structured logger + progress line behaviour."""
+
+import io
+
+import pytest
+
+from repro.telemetry import (
+    LEVELS,
+    MemorySink,
+    ProgressLine,
+    StructuredLogger,
+    format_eta,
+)
+
+
+class TestStructuredLogger:
+    def test_level_filtering(self):
+        out = io.StringIO()
+        log = StructuredLogger(level="warning", stream=out)
+        log.debug("nope")
+        log.info("nope")
+        log.warning("yes")
+        log.error("also yes")
+        text = out.getvalue()
+        assert "nope" not in text
+        assert "WARNING" in text and "yes" in text
+        assert "ERROR" in text
+
+    def test_fields_render_as_key_value(self):
+        out = io.StringIO()
+        log = StructuredLogger(level="info", stream=out)
+        log.info("step done", layer="conv1", accuracy=0.87654321)
+        line = out.getvalue()
+        assert "step done" in line
+        assert "layer=conv1" in line
+        assert "accuracy=0.8765" in line  # floats render compactly
+
+    def test_warnings_go_to_error_stream(self):
+        out, err = io.StringIO(), io.StringIO()
+        log = StructuredLogger(level="info", stream=out, error_stream=err)
+        log.info("stdout line")
+        log.warning("stderr line")
+        assert "stdout line" in out.getvalue()
+        assert "stderr line" not in out.getvalue()
+        assert "stderr line" in err.getvalue()
+
+    def test_mirrors_into_sink_as_log_events(self):
+        sink = MemorySink()
+        log = StructuredLogger(
+            level="info", stream=io.StringIO(), sink=sink
+        )
+        log.info("hello", a=1)
+        log.debug("filtered out", b=2)
+        (event,) = sink.events
+        assert event["type"] == "log"
+        assert event["level"] == "info"
+        assert event["msg"] == "hello"
+        assert event["fields"] == {"a": 1}
+
+    def test_silent_level_suppresses_everything(self):
+        out = io.StringIO()
+        log = StructuredLogger(level="silent", stream=out)
+        log.error("even errors")
+        assert out.getvalue() == ""
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(level="verbose")
+
+    def test_enabled_for(self):
+        log = StructuredLogger(level="info", stream=io.StringIO())
+        assert not log.enabled_for("debug")
+        assert log.enabled_for("info")
+        assert log.enabled_for("error")
+
+
+def test_levels_are_ordered():
+    assert (LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"]
+            < LEVELS["error"] < LEVELS["silent"])
+
+
+def test_format_eta():
+    assert format_eta(0) == "00:00"
+    assert format_eta(75) == "01:15"
+    assert format_eta(3725) == "1:02:05"
+    assert format_eta(-5) == "00:00"  # clamped, never negative
+
+
+class TestProgressLine:
+    def test_updates_overwrite_in_place(self):
+        out = io.StringIO()
+        line = ProgressLine(stream=out, enabled=True)
+        line.update(1, total=4, acc=0.5)
+        line.update(2, total=4, acc=0.75)
+        line.close()
+        text = out.getvalue()
+        assert text.count("\r") == 2
+        assert "step 2/4" in text
+        assert "acc 0.75" in text
+        assert "eta " in text
+        assert text.endswith("\n")
+
+    def test_shorter_line_is_padded_clean(self):
+        out = io.StringIO()
+        line = ProgressLine(stream=out, enabled=True)
+        line.update(1, layer="a_very_long_layer_name")
+        line.update(2, layer="x")
+        # The second write blank-pads over the longer first line.
+        second = out.getvalue().split("\r")[2]
+        assert len(second) >= len("step 1 | layer a_very_long_layer_name")
+
+    def test_disabled_line_writes_nothing(self):
+        out = io.StringIO()
+        line = ProgressLine(stream=out, enabled=False)
+        line.update(1, total=10)
+        line.close()
+        assert out.getvalue() == ""
+
+    def test_close_without_updates_writes_nothing(self):
+        out = io.StringIO()
+        ProgressLine(stream=out, enabled=True).close()
+        assert out.getvalue() == ""

@@ -1,0 +1,162 @@
+"""Reporting: exclusive stage accounting, trajectory, rendering."""
+
+import pytest
+
+from repro.telemetry import (
+    STAGES,
+    Telemetry,
+    format_report,
+    load_run,
+    stage_breakdown,
+    trajectory,
+    write_trajectory_svg,
+)
+
+
+def _make_run(tmp_path, build):
+    """Run ``build(telemetry)`` against a real file-backed handle and
+    load the directory back as a RunTelemetry."""
+    t = Telemetry.create(directory=tmp_path, log_level="silent")
+    build(t)
+    t.close()
+    return load_run(tmp_path)
+
+
+class TestStageBreakdown:
+    def test_nested_stage_charged_to_outermost_only(self, tmp_path):
+        def build(t):
+            with t.span("run"):
+                with t.span("recover"):
+                    with t.span("eval"):  # nested stage: not double counted
+                        pass
+                with t.span("eval"):
+                    pass
+
+        run = _make_run(tmp_path, build)
+        breakdown = stage_breakdown(run)
+        assert breakdown["stages"]["recover"].count == 1
+        # Only the top-level eval is charged; the one inside recover is
+        # already part of recover's wall-clock.
+        assert breakdown["stages"]["eval"].count == 1
+        assert breakdown["covered_s"] <= breakdown["total_s"] + 1e-9
+        assert 0.0 < breakdown["coverage"] <= 1.0
+
+    def test_totals_come_from_the_run_span(self, tmp_path):
+        def build(t):
+            with t.span("run"):
+                with t.span("probe"):
+                    pass
+
+        run = _make_run(tmp_path, build)
+        breakdown = stage_breakdown(run)
+        run_span = next(s for s in run.spans if s["name"] == "run")
+        assert breakdown["total_s"] == pytest.approx(
+            run_span["duration_s"]
+        )
+
+    def test_every_declared_stage_is_reported(self, tmp_path):
+        # A run that crashed before any stage: events exist, spans don't.
+        run = _make_run(tmp_path, lambda t: t.event("started"))
+        breakdown = stage_breakdown(run)
+        assert set(breakdown["stages"]) == set(STAGES)
+        assert breakdown["coverage"] == 0.0  # no run span at all
+
+    def test_stage_stats_accumulate(self, tmp_path):
+        def build(t):
+            with t.span("run"):
+                for _ in range(3):
+                    with t.span("probe"):
+                        pass
+
+        run = _make_run(tmp_path, build)
+        probe = stage_breakdown(run)["stages"]["probe"]
+        assert probe.count == 3
+        assert probe.total_s >= probe.max_s >= probe.mean_s >= 0.0
+
+
+class TestTrajectory:
+    def test_rows_come_from_step_complete_events(self, tmp_path):
+        def build(t):
+            t.event(
+                "step_complete", step=1, layer="conv2", from_bits=8,
+                to_bits=4, post_quant_accuracy=0.6,
+                recovered_accuracy=0.8, compression=2.0,
+                recovery_epochs=1,
+            )
+            t.event(
+                "step_complete", step=0, layer="conv1", from_bits=None,
+                to_bits=8, post_quant_accuracy=0.7,
+                recovered_accuracy=0.85, compression=1.5,
+                recovery_epochs=2,
+            )
+
+        run = _make_run(tmp_path, build)
+        rows = trajectory(run)
+        assert [r["step"] for r in rows] == [0, 1]  # sorted by step
+        assert rows[0]["layer"] == "conv1"
+        assert rows[1]["valley"] == 0.6
+        assert rows[1]["peak"] == 0.8
+
+
+class TestFormatReport:
+    def _full_run(self, tmp_path):
+        def build(t):
+            with t.span("run"):
+                with t.span("probe"):
+                    pass
+            t.event(
+                "step_complete", step=0, layer="conv1", from_bits=None,
+                to_bits=4, post_quant_accuracy=0.5,
+                recovered_accuracy=0.75, compression=3.0,
+                recovery_epochs=1,
+            )
+            t.counter("ccq.probe_divergence", expert="conv1").inc()
+            t.histogram("ccq.probe_loss").observe(1.25)
+
+        return _make_run(tmp_path, build)
+
+    def test_report_contains_all_sections(self, tmp_path):
+        text = format_report(self._full_run(tmp_path))
+        assert "per-stage wall-clock breakdown" in text
+        for stage in STAGES:
+            assert stage in text
+        assert "accuracy / compression trajectory" in text
+        assert "conv1" in text and "None->4b" in text
+        assert "resilience counters" in text
+        assert "ccq.probe_divergence expert=conv1: 1" in text
+        assert "histograms (p50 / p90 / p99)" in text
+        assert "ccq.probe_loss" in text
+
+    def test_svg_written_for_runs_with_steps(self, tmp_path):
+        run = self._full_run(tmp_path)
+        out = tmp_path / "traj.svg"
+        assert write_trajectory_svg(run, out) == out
+        svg = out.read_text()
+        assert svg.startswith("<svg") or "<svg" in svg
+        assert "recovered accuracy" in svg
+
+    def test_svg_skipped_without_steps(self, tmp_path):
+        run = _make_run(tmp_path, lambda t: t.event("nothing"))
+        assert write_trajectory_svg(run, tmp_path / "t.svg") is None
+        assert not (tmp_path / "t.svg").exists()
+
+
+class TestLoadRun:
+    def test_missing_directory_raises_with_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="telemetry-dir"):
+            load_run(tmp_path / "never_ran")
+
+    def test_metrics_are_optional(self, tmp_path):
+        def build(t):
+            with t.span("run"):
+                pass
+
+        t = Telemetry.create(directory=tmp_path, log_level="silent")
+        build(t)
+        t.sink.flush()
+        t.sink.close()  # close the sink only: no metrics.json written
+        (tmp_path / "metrics.json").unlink(missing_ok=True)
+        (tmp_path / "metrics.csv").unlink(missing_ok=True)
+        run = load_run(tmp_path)
+        assert run.metrics == {}
+        assert len(run.spans) == 1

@@ -1,0 +1,105 @@
+"""Span tracer: nesting, exception safety, and the null fast path."""
+
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    SpanTracer,
+    read_events,
+)
+
+
+def test_nested_spans_record_parent_and_depth():
+    sink = MemorySink()
+    tracer = SpanTracer(sink)
+    with tracer.span("run") as outer:
+        with tracer.span("probe", expert="conv1") as inner:
+            assert tracer.active_depth == 2
+        assert tracer.active_depth == 1
+    assert tracer.active_depth == 0
+
+    # Spans are emitted on exit, so the inner one lands first.
+    inner_ev, outer_ev = sink.events
+    assert inner_ev["name"] == "probe"
+    assert inner_ev["parent"] == outer.span_id
+    assert inner_ev["depth"] == 1
+    assert inner_ev["attrs"] == {"expert": "conv1"}
+    assert outer_ev["name"] == "run"
+    assert outer_ev["parent"] is None
+    assert outer_ev["depth"] == 0
+    assert outer_ev["duration_s"] >= inner_ev["duration_s"]
+    assert inner.span_id != outer.span_id
+
+
+def test_siblings_share_a_parent():
+    sink = MemorySink()
+    tracer = SpanTracer(sink)
+    with tracer.span("step") as step:
+        with tracer.span("probe"):
+            pass
+        with tracer.span("recover"):
+            pass
+    probe, recover, _ = sink.events
+    assert probe["parent"] == step.span_id
+    assert recover["parent"] == step.span_id
+
+
+def test_exception_is_recorded_and_propagated():
+    sink = MemorySink()
+    tracer = SpanTracer(sink)
+    with pytest.raises(RuntimeError, match="diverged"):
+        with tracer.span("recover"):
+            raise RuntimeError("diverged")
+    (event,) = sink.events
+    assert event["error"] == "RuntimeError: diverged"
+    # The stack unwound despite the exception.
+    assert tracer.active_depth == 0
+
+
+def test_exception_inside_nested_span_unwinds_cleanly():
+    sink = MemorySink()
+    tracer = SpanTracer(sink)
+    with pytest.raises(ValueError):
+        with tracer.span("run"):
+            with tracer.span("step"):
+                raise ValueError("boom")
+    assert tracer.active_depth == 0
+    step_ev, run_ev = sink.events
+    assert "error" in step_ev and "error" in run_ev
+
+
+def test_null_tracer_is_allocation_free():
+    tracer = NullTracer()
+    a = tracer.span("x", attr=1)
+    b = tracer.span("y")
+    assert a is b  # one shared no-op span object
+    with a:
+        assert tracer.active_depth == 0
+    with pytest.raises(KeyError):
+        with tracer.span("z"):
+            raise KeyError("never swallowed")
+
+
+def test_spans_round_trip_through_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tracer = SpanTracer(JsonlSink(path))
+    with tracer.span("run"):
+        with tracer.span("probe", to_bits=4):
+            pass
+    events = read_events(path)
+    assert [e["name"] for e in events] == ["probe", "run"]
+    assert events[0]["attrs"] == {"to_bits": 4}
+    assert all(e["type"] == "span" for e in events)
+
+
+def test_read_events_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tracer = SpanTracer(JsonlSink(path))
+    with tracer.span("a"):
+        pass
+    with open(path, "a", encoding="utf-8") as f:
+        f.write('{"type": "span", "name": "tor')  # crash mid-write
+    events = read_events(path)
+    assert [e["name"] for e in events] == ["a"]
