@@ -60,7 +60,16 @@ def run_ccq(task, telemetry=None) -> dict:
         "accuracy": result.final_eval.accuracy,
         "compression": result.compression,
         "training_epochs": epochs,
+        "probe_rounds": result.probe_rounds,
         "probe_forward_passes": result.probe_forward_passes,
+        "probe_cache_hits": result.probe_cache_hits,
+        # Measured probe-stage speedup from per-step memoization: the
+        # rounds the competition issued over the forward passes that
+        # actually ran (cache hits are effectively free).
+        "probe_cache_speedup": (
+            result.probe_rounds / result.probe_forward_passes
+            if result.probe_forward_passes else 1.0
+        ),
     }
 
 
@@ -109,7 +118,9 @@ def bench_ablation_search_cost(benchmark, get_task, record_result):
     for method in ("ccq", "haq"):
         d = data[method]
         extra = (
-            f"{d['probe_forward_passes']} feed-forward probes"
+            f"{d['probe_forward_passes']}/{d['probe_rounds']} feed-forward "
+            f"probes ({d['probe_cache_hits']} cached, "
+            f"{d['probe_cache_speedup']:.2f}x probe speedup)"
             if method == "ccq"
             else f"{d['episodes']} episodes"
         )

@@ -11,19 +11,22 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-smoke}"
 export REPRO_BENCH_SCALE="$SCALE"
 
-echo "== 1/5 unit + integration tests =="
+echo "== 1/6 unit + integration tests =="
 python3 -m pytest tests/ 2>&1 | tee test_output.txt
 
-echo "== 2/5 telemetry end-to-end check =="
+echo "== 2/6 telemetry end-to-end check =="
 bash scripts/verify_telemetry.sh
 
-echo "== 3/5 table/figure benchmarks (scale: $SCALE) =="
+echo "== 3/6 probe-cache determinism check =="
+bash scripts/verify_probe_cache.sh
+
+echo "== 4/6 table/figure benchmarks (scale: $SCALE) =="
 python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-echo "== 4/5 regenerate EXPERIMENTS.md =="
+echo "== 5/6 regenerate EXPERIMENTS.md =="
 python3 benchmarks/make_experiments_report.py
 
-echo "== 5/5 render figures =="
+echo "== 6/6 render figures =="
 python3 benchmarks/make_figures.py
 
 echo "done: see EXPERIMENTS.md, benchmarks/figures/, test_output.txt, bench_output.txt"

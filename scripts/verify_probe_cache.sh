@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Prove the probe cache is trajectory-invariant end to end through the
+# CLI:
+#
+#   1. cached:   a micro-scale CCQ run with probe memoization (default)
+#   2. uncached: the identical run with --no-probe-cache
+#
+# The two runs must report the identical bit configuration, final
+# accuracy and compression, while the cached run executes strictly
+# fewer probe forward passes over the same number of probe rounds.
+# Finishes in about a minute on one CPU.
+#
+#   bash scripts/verify_probe_cache.sh [workdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+# --probes above the expert count forces within-step repeats, so the
+# cache has hits to serve (6 rounds over fewer distinct candidates).
+COMMON=(run-ccq --task resnet20_cifar10 --scale micro --probes 6
+        --max-steps 4 --seed 0)
+
+echo "== 1/2 cached run (probe memoization on, the default) =="
+python3 -m repro.cli "${COMMON[@]}" --output "$WORK/cached.json"
+
+echo "== 2/2 uncached run (--no-probe-cache) =="
+python3 -m repro.cli "${COMMON[@]}" --no-probe-cache \
+    --output "$WORK/uncached.json"
+
+python3 - "$WORK/cached.json" "$WORK/uncached.json" <<'EOF'
+import json
+import sys
+
+cached, uncached = (json.load(open(path)) for path in sys.argv[1:3])
+
+mismatches = [
+    key for key in ("bit_config", "final_accuracy", "compression")
+    if cached[key] != uncached[key]
+]
+if mismatches:
+    for key in mismatches:
+        print(f"MISMATCH {key}: cached={cached[key]!r} "
+              f"uncached={uncached[key]!r}")
+    sys.exit(1)
+
+rounds = cached["probe_rounds"]
+if rounds != uncached["probe_rounds"]:
+    print(f"MISMATCH probe_rounds: cached={rounds} "
+          f"uncached={uncached['probe_rounds']}")
+    sys.exit(1)
+if uncached["probe_forward_passes"] != rounds:
+    print(f"uncached run should evaluate every round: "
+          f"{uncached['probe_forward_passes']} passes != {rounds} rounds")
+    sys.exit(1)
+if cached["probe_forward_passes"] >= uncached["probe_forward_passes"]:
+    print(f"no forward-pass reduction: cached ran "
+          f"{cached['probe_forward_passes']} passes, uncached "
+          f"{uncached['probe_forward_passes']}")
+    sys.exit(1)
+
+saved = uncached["probe_forward_passes"] - cached["probe_forward_passes"]
+print(f"OK: identical trajectory; cache saved {saved}/{rounds} probe "
+      f"forward passes ({cached['probe_cache_hits']} hits)")
+EOF

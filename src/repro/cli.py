@@ -120,6 +120,7 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
             target_compression=args.target_compression,
             max_steps=args.max_steps,
             seed=args.seed,
+            probe_cache=not args.no_probe_cache,
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
             input_shape=task.input_shape,
@@ -148,6 +149,11 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
         log.info(f"final accuracy: {result.final_eval.accuracy:.3f} "
                  f"(degradation {baseline - result.final_eval.accuracy:+.3f})")
         log.info(f"compression:    {result.compression:.2f}x")
+        log.info(
+            f"probe rounds:   {result.probe_rounds} "
+            f"({result.probe_forward_passes} forward passes, "
+            f"{result.probe_cache_hits} cache hits)"
+        )
         power = network_power(model, task.input_shape, node=NODE_32NM_SYNTH)
         power.record(telemetry)
         log.info(f"MAC power:      {power.total_watts*1e3:.3f} mW @30fps")
@@ -163,6 +169,9 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 "bit_config": {
                     k: list(v) for k, v in result.bit_config.items()
                 },
+                "probe_rounds": result.probe_rounds,
+                "probe_forward_passes": result.probe_forward_passes,
+                "probe_cache_hits": result.probe_cache_hits,
             }
             if telemetry.directory is not None:
                 payload["telemetry_dir"] = str(telemetry.directory)
@@ -233,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from the checkpoint in --checkpoint-dir "
              "(starts fresh if none exists)",
+    )
+    p_run.add_argument(
+        "--no-probe-cache", action="store_true",
+        help="disable per-step probe memoization (every probe round "
+             "runs a forward pass; the trajectory is identical either "
+             "way — this exists for verification and benchmarking)",
     )
     p_run.add_argument(
         "--max-retries", type=int, default=2,

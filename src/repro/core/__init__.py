@@ -5,6 +5,7 @@ from .ccq import CCQConfig, CCQQuantizer, CCQResult, StepRecord
 from .collaboration import RecoveryConfig, RecoveryReport, recover
 from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
 from .grouping import group_by_prefix, residual_block_groups
+from .probe import PinnedProbeSet, ProbeEngine, pin_probe_batches
 from .compression import (
     LayerSize,
     ModelSizeReport,
@@ -32,6 +33,9 @@ __all__ = [
     "HedgeCompetition",
     "CompetitionResult",
     "LambdaSchedule",
+    "ProbeEngine",
+    "PinnedProbeSet",
+    "pin_probe_batches",
     "BitLadder",
     "DEFAULT_LADDER",
     "LayerSize",

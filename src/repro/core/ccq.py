@@ -30,6 +30,15 @@ and retried with a decayed learning rate; after ``max_retries`` failures
 the winner's bit drop is reverted, the expert is put to sleep, the skip
 is journaled, and the search continues instead of dying.
 
+The competition stage is the search's dominant cost, so its candidate
+evaluations route through a :class:`~repro.core.probe.ProbeEngine`:
+probe batches are pinned once per step in dataset order (all candidates
+in a step score on identical data, regardless of the validation
+loader's shuffle RNG) and repeated candidates within a step are served
+from an exact per-step cache instead of re-running the forward pass —
+``U`` probe rounds cost at most ``min(U, n_awake)`` forward passes with
+a provably unchanged trajectory.
+
 The driver is also *observable*.  Passing a live
 :class:`repro.telemetry.Telemetry` as ``CCQQuantizer(telemetry=...)``
 emits nested wall-clock spans for every stage (``run`` > ``step`` >
@@ -62,6 +71,7 @@ from ..quantization.qmodules import (
 from .collaboration import RecoveryConfig, RecoveryReport, recover
 from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
 from .compression import model_size_report
+from .probe import ProbeEngine
 from .resilience import DivergenceError, RetryPolicy
 from .runstate import (
     RunStateStore,
@@ -119,6 +129,14 @@ class CCQConfig:
     # size_metric="macs"; required in that mode.
     input_shape: Optional[Tuple[int, int, int]] = None
     seed: int = 0
+    # Per-step probe memoization (see repro.core.probe).  Within one
+    # competition stage the model is frozen, so a re-probed candidate's
+    # loss is bit-identical to its first evaluation; caching it skips
+    # the redundant forward pass.  The observed losses — and therefore
+    # the whole trajectory — are the same on or off, which is why this
+    # knob is deliberately NOT part of the resume fingerprint: runs
+    # with different cache settings are interchangeable.
+    probe_cache: bool = True
     # -- resilience ------------------------------------------------------
     # Directory for the run journal + atomic checkpoints (None disables
     # both; the run is then neither resumable nor crash-safe).
@@ -158,6 +176,16 @@ class CCQResult:
     bit_config: Dict[str, Tuple[Optional[int], Optional[int]]]
     compression: float
     probe_forward_passes: int
+    # Probe-engine accounting: rounds served from the per-step memo vs
+    # rounds that ran a forward pass (misses == probe_forward_passes
+    # when the engine is on for the whole run).
+    probe_cache_hits: int = 0
+    probe_cache_misses: int = 0
+
+    @property
+    def probe_rounds(self) -> int:
+        """Total competition probe rounds issued (hits + forward passes)."""
+        return self.probe_cache_hits + self.probe_forward_passes
 
     @property
     def accuracy_trace(self) -> List[Tuple[int, float, str]]:
@@ -229,6 +257,19 @@ class CCQQuantizer:
             probes_per_step=self.config.probes_per_step,
             lambda_schedule=self.config.lambda_schedule,
             rng=self.rng,
+            # Divergence penalties demote their expert but must not
+            # pollute the auto loss-scale history (satellite of the
+            # probe-engine work; see HedgeCompetition.outlier_threshold).
+            outlier_threshold=PROBE_DIVERGENCE_PENALTY,
+            telemetry=self.telemetry,
+        )
+        # All candidate evaluations route through the probe engine:
+        # per-step memoization plus probe subsets pinned in dataset
+        # order, decoupled from the validation loader's shuffle RNG.
+        self.probe_engine = ProbeEngine(
+            loader=val_loader,
+            probe_batches=self.config.probe_batches,
+            memoize=self.config.probe_cache,
             telemetry=self.telemetry,
         )
         self.optimizer = make_sgd(
@@ -282,6 +323,7 @@ class CCQQuantizer:
                 "ccq.steps", "ccq.checkpoints", "ccq.probe_divergence",
                 "ccq.recovery_retry", "ccq.expert_skipped",
                 "ccq.fatal_divergence",
+                "ccq.probe_cache_hits", "ccq.probe_cache_misses",
             ):
                 self.telemetry.counter(counter_name)
 
@@ -401,32 +443,39 @@ class CCQQuantizer:
     def _probe_loss(self, index: int) -> float:
         """Validation loss with only expert ``index`` at its next level.
 
-        This is Eq. (4)/(5): a cheap feed-forward on a validation subset;
-        the expert's precision is restored immediately afterwards.
+        This is Eq. (4)/(5): a cheap feed-forward on a validation subset.
+        The evaluation routes through the probe engine: the subset is
+        the step's pinned batches (identical data for every candidate
+        in the step) and a re-probed candidate is served from the
+        per-step cache instead of re-running the forward pass — the
+        model is frozen within a step, so the cached loss is exact.
         """
-        _, members = self.experts[index]
-        saved = [
-            (self.layers[m][1].w_bits, self.layers[m][1].a_bits)
-            for m in members
-        ]
         next_bits = self._next_bits(index)
-        self._set_bits(index, next_bits)
-        try:
-            with self.telemetry.span(
-                "probe", expert=self.experts[index][0], to_bits=next_bits
-            ):
-                result = evaluate(
-                    self.model, self.val_loader,
-                    max_batches=self.config.probe_batches,
-                    telemetry=self.telemetry,
-                )
-        finally:
-            for m, (w_bits, a_bits) in zip(members, saved):
-                self.layers[m][1].w_bits = w_bits
-                self.layers[m][1].a_bits = a_bits
-        self.probe_forward_passes += 1
-        self.telemetry.histogram("ccq.probe_loss").observe(result.loss)
-        return result.loss
+
+        def run_eval(pinned) -> float:
+            _, members = self.experts[index]
+            saved = [
+                (self.layers[m][1].w_bits, self.layers[m][1].a_bits)
+                for m in members
+            ]
+            self._set_bits(index, next_bits)
+            try:
+                with self.telemetry.span(
+                    "probe", expert=self.experts[index][0],
+                    to_bits=next_bits,
+                ):
+                    result = evaluate(
+                        self.model, pinned, telemetry=self.telemetry
+                    )
+            finally:
+                for m, (w_bits, a_bits) in zip(members, saved):
+                    self.layers[m][1].w_bits = w_bits
+                    self.layers[m][1].a_bits = a_bits
+            self.probe_forward_passes += 1
+            self.telemetry.histogram("ccq.probe_loss").observe(result.loss)
+            return result.loss
+
+        return self.probe_engine.evaluate((index, next_bits), run_eval)
 
     def _guarded_probe(self, index: int) -> float:
         """A probe that survives divergence.
@@ -434,7 +483,11 @@ class CCQQuantizer:
         A candidate whose evaluation goes NaN/Inf is simply a terrible
         candidate: journal the event and return a large finite penalty
         loss so the competition demotes the expert instead of the whole
-        search dying mid-probe.
+        search dying mid-probe.  The penalty is memoized like any other
+        probe loss — a deterministic forward pass that diverged once
+        would diverge again, so a re-probe within the step serves the
+        penalty from the cache without re-running (or re-journaling)
+        the doomed evaluation.
         """
         try:
             return self._probe_loss(index)
@@ -453,6 +506,15 @@ class CCQQuantizer:
                     expert=self.experts[index][0],
                     penalty=PROBE_DIVERGENCE_PENALTY,
                     **err.context(),
+                )
+            current = self._current_bits(index)
+            next_bits = (
+                self.config.ladder.next_level(current)
+                if current is not None else None
+            )
+            if next_bits is not None:
+                self.probe_engine.record(
+                    (index, next_bits), PROBE_DIVERGENCE_PENALTY
                 )
             return PROBE_DIVERGENCE_PENALTY
 
@@ -546,12 +608,20 @@ class CCQQuantizer:
             "step": self._step,
             "best_accuracy": self._best_accuracy,
             "probe_forward_passes": self.probe_forward_passes,
+            "probe_cache_hits": self.probe_engine.cache_hits,
+            "probe_cache_misses": self.probe_engine.cache_misses,
             "forced_asleep": sorted(self._forced_asleep),
             "initial_eval": eval_to_json(self._initial_eval),
             "records": [record_to_json(r) for r in self._records],
             "hedge": self.competition.state_dict(),
             "train_loader_rng": self._loader_rng_state(self.train_loader),
             "train_dataset_rng": self._dataset_rng_state(self.train_loader),
+            # Probes pin their data straight from the dataset, but the
+            # full evals (and a shuffling val loader's batch *order*,
+            # which shifts loss summation order by a few ulps) still
+            # consume this RNG — rewind it too for bit-exact resumes.
+            "val_loader_rng": self._loader_rng_state(self.val_loader),
+            "val_dataset_rng": self._dataset_rng_state(self.val_loader),
         }
         self.store.save(self.model, self.optimizer, state, seq=self._save_seq)
         self.store.journal.append(
@@ -577,6 +647,11 @@ class CCQQuantizer:
         self._step = int(state["step"])
         self._best_accuracy = float(state["best_accuracy"])
         self.probe_forward_passes = int(state["probe_forward_passes"])
+        # Older checkpoints (pre probe engine) carry no cache counters.
+        self.probe_engine.cache_hits = int(state.get("probe_cache_hits", 0))
+        self.probe_engine.cache_misses = int(
+            state.get("probe_cache_misses", 0)
+        )
         self._forced_asleep = set(
             int(i) for i in state.get("forced_asleep", [])
         )
@@ -590,6 +665,15 @@ class CCQQuantizer:
         dataset = getattr(self.train_loader, "dataset", None)
         if dataset_rng is not None and hasattr(dataset, "_rng"):
             set_rng_state(dataset._rng, dataset_rng)
+        # Absent in pre-engine checkpoints; those ran unshuffled val
+        # loaders, for which the fresh seed state is already correct.
+        val_rng = state.get("val_loader_rng")
+        if val_rng is not None and hasattr(self.val_loader, "_rng"):
+            set_rng_state(self.val_loader._rng, val_rng)
+        val_dataset_rng = state.get("val_dataset_rng")
+        val_dataset = getattr(self.val_loader, "dataset", None)
+        if val_dataset_rng is not None and hasattr(val_dataset, "_rng"):
+            set_rng_state(val_dataset._rng, val_dataset_rng)
         self._save_seq = int(state.get("save_seq", 0))
         self.store.journal.append(
             "resumed", step=self._step, save_seq=self._save_seq
@@ -673,6 +757,9 @@ class CCQQuantizer:
                     "fatal_divergence", step=step, **err.context()
                 )
             raise
+        # New stage: drop the previous step's memo (the collaboration
+        # just changed the weights) and pin this step's probe subset.
+        self.probe_engine.begin_step(step)
         result = self.competition.run_step(
             evaluate_candidate=self._guarded_probe,
             awake=self._awake_mask(),
@@ -951,4 +1038,6 @@ class CCQQuantizer:
             bit_config=get_bit_config(self.model),
             compression=compression,
             probe_forward_passes=self.probe_forward_passes,
+            probe_cache_hits=self.probe_engine.cache_hits,
+            probe_cache_misses=self.probe_engine.cache_misses,
         )

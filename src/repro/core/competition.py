@@ -100,6 +100,14 @@ class HedgeCompetition:
         exponential-weights update; ``"auto"`` rescales by the running
         mean probe loss, which keeps ``gamma`` meaningful across tasks
         whose loss magnitudes differ wildly.
+    outlier_threshold:
+        Losses at or above this value (e.g. the CCQ probe divergence
+        penalty) still demote their expert through the weight update
+        but are **excluded from the auto loss-scale history** — one
+        huge penalty would otherwise drag the running mean up
+        permanently, flattening every later scaled loss toward 0 and
+        destroying Hedge discrimination.  ``None`` disables the
+        distinction (every loss enters the history).
     telemetry:
         Optional :class:`repro.telemetry.Telemetry`; when live, every
         probe round emits a ``hedge_round`` event snapshotting the
@@ -115,6 +123,7 @@ class HedgeCompetition:
         lambda_schedule: Optional[LambdaSchedule] = None,
         rng: Optional[np.random.Generator] = None,
         loss_scale: "float | str" = "auto",
+        outlier_threshold: Optional[float] = None,
         telemetry: Optional[object] = None,
     ) -> None:
         if n_layers < 1:
@@ -129,6 +138,7 @@ class HedgeCompetition:
         self.lambda_schedule = lambda_schedule
         self.rng = rng or np.random.default_rng(0)
         self.loss_scale = loss_scale
+        self.outlier_threshold = outlier_threshold
         if telemetry is None:
             from ..telemetry import NULL_TELEMETRY
 
@@ -215,14 +225,33 @@ class HedgeCompetition:
 
     # -- the game ------------------------------------------------------------
 
+    def _is_outlier(self, loss: float) -> bool:
+        return (
+            self.outlier_threshold is not None
+            and loss >= self.outlier_threshold
+        )
+
     def _scaled(self, loss: float) -> float:
-        self._loss_history.append(loss)
+        outlier = self._is_outlier(loss)
+        if not outlier:
+            self._loss_history.append(loss)
         if self.loss_scale == "auto":
+            if not self._loss_history:
+                # An outlier before any honest loss: no reference scale
+                # exists yet, so treat it as one unit of loss — exactly
+                # what the old self-normalizing first observation did.
+                return 1.0
             return loss / (np.mean(self._loss_history) + 1e-12)
         return loss / float(self.loss_scale)
 
     def observe(self, layer: int, loss: float) -> None:
-        """Multiplicative weight update for one probe observation."""
+        """Multiplicative weight update for one probe observation.
+
+        Outlier losses (see ``outlier_threshold``) take part in this
+        update — the expert is demoted hard — but are kept out of the
+        running loss-scale history so they cannot flatten the scale for
+        every subsequent honest probe.
+        """
         self.weights[layer] *= np.exp(-self.gamma * self._scaled(loss))
         # Renormalize to dodge underflow; the distribution is unchanged.
         self.weights /= self.weights.max()
@@ -243,27 +272,28 @@ class HedgeCompetition:
         probes: List[int] = []
         probe_losses: Dict[int, float] = {}
         telemetry = self.telemetry
+        # One distribution per round: the post-update distribution that
+        # the telemetry event snapshots IS the distribution the next
+        # round draws from, so it is computed once and carried over
+        # instead of being rebuilt for the event and again for the draw.
+        p = self.probabilities(awake)
         for round_index in range(self.probes_per_step):
-            p = self.probabilities(awake)
             m_u = int(self.rng.choice(self.n_layers, p=p))
             loss = float(evaluate_candidate(m_u))
             self.observe(m_u, loss)
             probes.append(m_u)
             probe_losses[m_u] = loss
+            p = self.probabilities(awake)
             if telemetry.enabled:
-                # Snapshot the distribution *after* the update so each
-                # event shows the state the next round draws from.
                 telemetry.event(
                     "hedge_round",
                     step=step,
                     round=round_index,
                     expert=m_u,
                     loss=loss,
-                    probabilities=[
-                        float(x) for x in self.probabilities(awake)
-                    ],
+                    probabilities=[float(x) for x in p],
                 )
-        learned = self.probabilities(awake)
+        learned = p
         mixed = self.mixed_probabilities(awake, layer_sizes, step)
         winner = int(self.rng.choice(self.n_layers, p=mixed))
         if telemetry.enabled:

@@ -1,0 +1,214 @@
+"""The probe-evaluation engine backing the CCQ competition stage.
+
+Every quantization step runs ``U`` probe rounds, and each round evaluates
+one candidate (a single expert dropped to its next bit level) on a
+validation subset.  Two properties of that loop make a dedicated engine
+worthwhile:
+
+**Per-step exact memoization.**  Within one competition stage the model's
+weights are frozen — only the probed expert's bit width changes, and it
+is restored right after the probe.  A candidate is therefore fully
+identified by ``(expert index, next bits)``, and re-probing it returns a
+bit-identical loss.  The engine caches the first evaluation of each
+candidate and serves repeats from the cache, cutting the forward passes
+per step from ``U`` to at most ``min(U, n_awake)`` with a provably
+unchanged Hedge trajectory (the *losses* the competition observes are
+the same numbers either way).
+
+**Pinned probe subsets.**  The probe data is materialized once per step
+directly from the validation *dataset* in deterministic index order —
+deliberately bypassing the loader's shuffle RNG.  This fixes a latent
+correctness bug: with a shuffling validation loader, consecutive probes
+used to score *different layers on different batches*, making the Hedge
+losses incomparable across experts.  Pinning also means cache hits
+cannot perturb the loader's RNG stream, so memoization on/off (and
+kill-and-resume) stay bit-for-bit deterministic.
+
+The engine is observable through the shared telemetry layer
+(``ccq.probe_cache_hits`` / ``ccq.probe_cache_misses`` counters and the
+``ccq.probe_eval_s`` fast-path timer histogram) and deliberately holds
+no trajectory-relevant state across steps: :meth:`ProbeEngine.begin_step`
+drops the memo table, so a run resumed at a step boundary needs no
+engine state in the checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.data import DataLoader
+from ..telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = ["PinnedProbeSet", "ProbeEngine", "pin_probe_batches"]
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+class PinnedProbeSet:
+    """A materialized validation subset, iterable like a loader.
+
+    Holds concrete ``(images, labels)`` ndarray batches so every
+    candidate probed within a step is scored on *identical* data, no
+    matter what the originating loader's shuffle RNG does in between.
+    Satisfies the loader protocol :func:`repro.core.training.evaluate`
+    expects (iteration + ``len``).
+    """
+
+    def __init__(self, batches: List[Batch]) -> None:
+        if not batches:
+            raise ValueError("a pinned probe set needs at least one batch")
+        self.batches = batches
+
+    def __iter__(self) -> Iterator[Batch]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def n_samples(self) -> int:
+        return sum(len(labels) for _, labels in self.batches)
+
+
+def pin_probe_batches(
+    loader: DataLoader, max_batches: Optional[int] = None
+) -> PinnedProbeSet:
+    """Materialize the probe subset from ``loader``'s dataset.
+
+    Samples are taken in deterministic dataset order (the order an
+    unshuffled loader would yield), sliced into ``loader.batch_size``
+    batches, at most ``max_batches`` of them.  The loader's own RNG is
+    never consulted, so pinning is invisible to any later iteration of
+    the loader.
+
+    Falls back to iterating the loader itself for duck-typed loaders
+    that expose no ``dataset``/``batch_size`` (test doubles); those
+    lose the RNG decoupling but keep the per-step pinning.
+    """
+    dataset = getattr(loader, "dataset", None)
+    batch_size = getattr(loader, "batch_size", None)
+    batches: List[Batch] = []
+    if dataset is not None and batch_size is not None:
+        n = len(dataset)
+        if max_batches is not None:
+            n = min(n, max_batches * batch_size)
+        for start in range(0, n, batch_size):
+            pairs = [dataset[i] for i in range(start, min(start + batch_size, n))]
+            images = np.stack([img for img, _ in pairs])
+            labels = np.asarray([label for _, label in pairs], dtype=np.int64)
+            batches.append((images, labels))
+    else:
+        for batch_index, (images, labels) in enumerate(loader):
+            if max_batches is not None and batch_index >= max_batches:
+                break
+            batches.append((np.asarray(images), np.asarray(labels)))
+    return PinnedProbeSet(batches)
+
+
+class ProbeEngine:
+    """Memoizing evaluator for competition probes.
+
+    Parameters
+    ----------
+    loader:
+        The validation loader whose dataset backs the pinned subsets.
+    probe_batches:
+        How many batches each probe scores (``None`` = the full set) —
+        the same knob as ``CCQConfig.probe_batches``.
+    memoize:
+        Enables the per-step cache.  Off, every probe runs the forward
+        pass (the pre-engine behavior); the observed losses — and hence
+        the whole CCQ trajectory — are identical either way.
+    telemetry:
+        Optional live :class:`repro.telemetry.Telemetry`; hits/misses
+        land in ``ccq.probe_cache_hits`` / ``ccq.probe_cache_misses``
+        and each actual evaluation is timed into ``ccq.probe_eval_s``.
+    """
+
+    def __init__(
+        self,
+        loader: DataLoader,
+        probe_batches: Optional[int] = None,
+        memoize: bool = True,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.loader = loader
+        self.probe_batches = probe_batches
+        self.memoize = memoize
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._memo: Dict[Hashable, float] = {}
+        self._pinned: Optional[PinnedProbeSet] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- step lifecycle ------------------------------------------------------
+
+    def begin_step(self, step: Optional[int] = None) -> None:
+        """Start a new competition stage: fresh memo table, fresh pin.
+
+        The memo MUST be dropped between steps — the model's weights
+        change during collaboration, so a candidate's loss from an
+        earlier step is stale.  The probe subset is re-pinned so
+        datasets with stochastic transforms draw identically whether or
+        not the previous step's cache was hit.
+        """
+        self._memo.clear()
+        self._pinned = pin_probe_batches(self.loader, self.probe_batches)
+
+    @property
+    def pinned(self) -> PinnedProbeSet:
+        """The current step's probe subset (pinned on first use)."""
+        if self._pinned is None:
+            self._pinned = pin_probe_batches(self.loader, self.probe_batches)
+        return self._pinned
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        key: Hashable,
+        run_eval: Callable[[PinnedProbeSet], float],
+    ) -> float:
+        """Return the loss for candidate ``key``, memoized within the step.
+
+        ``run_eval`` receives the pinned probe subset and must return
+        the scalar validation loss.  It is only invoked on a cache
+        miss; a raised exception (e.g. ``DivergenceError``) propagates
+        without populating the cache — use :meth:`record` to memoize a
+        substitute loss for such candidates.
+        """
+        if self.memoize and key in self._memo:
+            self.cache_hits += 1
+            self.telemetry.counter("ccq.probe_cache_hits").inc()
+            return self._memo[key]
+        t0 = time.perf_counter()
+        loss = float(run_eval(self.pinned))
+        self.telemetry.histogram("ccq.probe_eval_s").observe(
+            time.perf_counter() - t0
+        )
+        self.cache_misses += 1
+        self.telemetry.counter("ccq.probe_cache_misses").inc()
+        if self.memoize:
+            self._memo[key] = loss
+        return loss
+
+    def record(self, key: Hashable, loss: float) -> None:
+        """Memoize ``loss`` for ``key`` without running an evaluation.
+
+        Used for divergence penalties: a candidate whose evaluation
+        deterministically diverges would diverge again on a re-probe,
+        so its penalty loss is served from the cache like any other.
+        """
+        if self.memoize:
+            self._memo[key] = float(loss)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime cache counters (hits + misses = probe rounds issued)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rounds": self.cache_hits + self.cache_misses,
+        }

@@ -21,13 +21,30 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Function", "Context", "backward", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Function",
+    "Context",
+    "backward",
+    "no_grad",
+    "is_grad_enabled",
+    "inference_dispatch_count",
+]
 
 
 class _GradMode:
     """Process-wide switch for gradient recording (cheap thread-unsafe flag)."""
 
     enabled: bool = True
+    # How many Function.apply calls took the inference fast path since
+    # process start.  Monotonic; read it before/after a region to count
+    # the fast-path ops that region executed (the probe engine's tests
+    # and telemetry do exactly that).
+    inference_dispatches: int = 0
+
+
+def inference_dispatch_count() -> int:
+    """Total ops dispatched through the no-grad fast path so far."""
+    return _GradMode.inference_dispatches
 
 
 def is_grad_enabled() -> bool:
@@ -69,6 +86,26 @@ class Context:
         self.saved = items
 
 
+class _InferenceContext(Context):
+    """The context handed to ``forward`` on the no-grad fast path.
+
+    ``save`` is a no-op: nothing will ever run ``backward``, so stashing
+    intermediates (im2col matrices, pre-activation copies, ...) would
+    only keep large arrays alive until garbage collection.  A single
+    shared instance is reused for every fast-path call — ``forward``
+    implementations never read back what they saved, so per-call
+    isolation buys nothing.
+    """
+
+    __slots__ = ()
+
+    def save(self, *items: Any) -> None:
+        pass
+
+
+_INFERENCE_CTX = _InferenceContext()
+
+
 class Function:
     """Base class for differentiable operations.
 
@@ -96,8 +133,21 @@ class Function:
 
     @classmethod
     def apply(cls, *args: Any, **kwargs: Any) -> "Tensor":
-        """Run ``forward`` and, if grad is enabled, record the op."""
+        """Run ``forward`` and, if grad is enabled, record the op.
+
+        With grad disabled (``no_grad``) the call takes an inference
+        fast path: no per-input bookkeeping, no ``needs_input_grad``
+        computation, and a shared no-op context so ``forward``'s
+        ``ctx.save(...)`` discards its arguments instead of pinning
+        them until GC.  This is the substrate half of the CCQ probe
+        engine's speedup — evaluation passes build no graph at all.
+        """
         from .tensor import Tensor  # local import to avoid a cycle
+
+        if not _GradMode.enabled:
+            _GradMode.inference_dispatches += 1
+            raw = [a.data if isinstance(a, Tensor) else a for a in args]
+            return Tensor(cls.forward(_INFERENCE_CTX, *raw, **kwargs))
 
         ctx = Context()
         tensor_args: List[Optional[Tensor]] = []

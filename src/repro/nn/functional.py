@@ -15,7 +15,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .autograd import Context, Function
+from .autograd import Context, Function, is_grad_enabled
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -51,15 +51,41 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+# Inference-mode scratch: the im2col column matrix is by far the largest
+# transient a conv forward allocates.  Evaluation loops (the CCQ probe
+# engine especially) run the same conv shapes batch after batch, so the
+# column buffer is kept and rewritten in place instead of reallocated.
+# Reuse is ONLY legal when autograd is off — in grad mode the buffer is
+# stashed in the op's context for the backward pass and must stay alive.
+_IM2COL_SCRATCH: dict = {}
+_IM2COL_SCRATCH_CAP = 16
+
+
+def _im2col_scratch(shape: Tuple[int, int], dtype: np.dtype) -> np.ndarray:
+    key = (shape, dtype.str)
+    buf = _IM2COL_SCRATCH.get(key)
+    if buf is None:
+        if len(_IM2COL_SCRATCH) >= _IM2COL_SCRATCH_CAP:
+            _IM2COL_SCRATCH.clear()
+        buf = np.empty(shape, dtype=dtype)
+        _IM2COL_SCRATCH[key] = buf
+    return buf
+
+
 def im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
     stride: Tuple[int, int],
     padding: Tuple[int, int],
+    reuse_scratch: bool = False,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Lower a padded NCHW batch into a ``(N*OH*OW, C*KH*KW)`` matrix.
 
     Returns the column matrix together with the output spatial size.
+    With ``reuse_scratch`` the column matrix lives in a shared
+    per-shape scratch buffer that the next same-shape call overwrites;
+    only pass it when the result is consumed before the next lowering
+    (the no-grad conv fast path).
     """
     kh, kw = kernel
     sh, sw = stride
@@ -71,7 +97,12 @@ def im2col(
     ow = (w - kw) // sw + 1
     # windows: (N, C, H-kh+1, W-kw+1, KH, KW) then stride-sliced.
     windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    windows = windows.transpose(0, 2, 3, 1, 4, 5)
+    if reuse_scratch:
+        cols = _im2col_scratch((n * oh * ow, c * kh * kw), x.dtype)
+        np.copyto(cols.reshape(windows.shape), windows)
+        return cols, (oh, ow)
+    cols = windows.reshape(n * oh * ow, c * kh * kw)
     return np.ascontiguousarray(cols), (oh, ow)
 
 
@@ -111,7 +142,12 @@ class _Conv2d(Function):
         padding: Tuple[int, int],
     ) -> np.ndarray:
         f, c, kh, kw = weight.shape
-        cols, (oh, ow) = im2col(x, (kh, kw), stride, padding)
+        # The scratch column buffer may only be recycled when no backward
+        # pass will read it; in grad mode ctx.save keeps it alive.
+        cols, (oh, ow) = im2col(
+            x, (kh, kw), stride, padding,
+            reuse_scratch=not is_grad_enabled(),
+        )
         w_flat = weight.reshape(f, -1)
         out = cols @ w_flat.T
         if bias is not None:

@@ -25,6 +25,13 @@ class DoReFaWeightQuantizer(WeightQuantizer):
             return _binarize(weight) * scale
         squashed = weight.tanh()
         max_abs = squashed.abs().max()
+        if float(max_abs.data) == 0.0:
+            # All-zero layer: the affine map onto [0, 1] is 0/0 and the
+            # signed-activation path's `or 1.0` guard has no weight-side
+            # twin, so this used to emit NaNs.  Zero weights quantize to
+            # zero at any precision; keep them there with an identity
+            # (straight-through) gradient.
+            return weight * 1.0
         unit = squashed / (max_abs * 2.0) + 0.5
         return quantize_unit_ste(unit, bits) * 2.0 - 1.0
 

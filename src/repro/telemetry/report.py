@@ -212,6 +212,24 @@ def format_report(run: RunTelemetry) -> str:
             )
         lines.append("")
 
+    hits_entry = _metric_value(run.metrics, "counters",
+                               "ccq.probe_cache_hits")
+    misses_entry = _metric_value(run.metrics, "counters",
+                                 "ccq.probe_cache_misses")
+    if hits_entry is not None or misses_entry is not None:
+        hits = float(hits_entry["value"]) if hits_entry else 0.0
+        misses = float(misses_entry["value"]) if misses_entry else 0.0
+        rounds = hits + misses
+        lines.append("probe cache")
+        lines.append(f"  probe rounds:        {rounds:g}")
+        lines.append(f"  forward passes:      {misses:g}")
+        lines.append(f"  cache hits:          {hits:g}")
+        lines.append(
+            f"  hit rate:            "
+            f"{hits / rounds if rounds else 0.0:.1%}"
+        )
+        lines.append("")
+
     counters = run.metrics.get("counters", [])
     resilience = [
         c for c in counters

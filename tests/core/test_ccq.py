@@ -119,7 +119,30 @@ class TestRun:
             net, train, val, config=fast_config(max_steps=2, probes_per_step=3)
         )
         result = ccq.run()
+        # Every probe round is either a forward pass or an exact
+        # cache hit; with memoization on (the default) repeated draws
+        # within a step are served from the cache.
+        assert result.probe_rounds == 2 * 3
+        assert result.probe_forward_passes <= 2 * 3
+        assert (
+            result.probe_forward_passes + result.probe_cache_hits
+            == result.probe_rounds
+        )
+
+    def test_probe_counter_without_cache(
+        self, quantized_pretrained, tiny_loaders
+    ):
+        net, _ = quantized_pretrained
+        train, val = tiny_loaders
+        ccq = CCQQuantizer(
+            net, train, val,
+            config=fast_config(
+                max_steps=2, probes_per_step=3, probe_cache=False
+            ),
+        )
+        result = ccq.run()
         assert result.probe_forward_passes == 2 * 3
+        assert result.probe_cache_hits == 0
 
     def test_trace_has_valleys_and_recoveries(
         self, quantized_pretrained, tiny_loaders

@@ -173,6 +173,59 @@ class TestRunStep:
         assert result.lambda_used == pytest.approx(0.5)
 
 
+class TestOutlierLosses:
+    """Divergence penalties must demote the expert without polluting
+    the auto loss scale (regression: one 1e3 penalty used to flatten
+    every subsequent honest loss to ~0 after scaling)."""
+
+    def test_outlier_excluded_from_loss_history(self):
+        comp = HedgeCompetition(3, outlier_threshold=1e3)
+        comp.observe(0, 0.5)
+        comp.observe(1, 1e3)       # divergence penalty
+        comp.observe(2, 0.7)
+        assert comp._loss_history == [0.5, 0.7]
+
+    def test_outlier_still_demotes_the_expert(self):
+        comp = HedgeCompetition(2, outlier_threshold=1e3)
+        comp.observe(0, 0.5)
+        before = comp.probabilities([True, True]).copy()
+        comp.observe(1, 1e3)
+        after = comp.probabilities([True, True])
+        assert after[1] < before[1]
+        assert after[1] < after[0]
+
+    def test_honest_losses_keep_their_scale_after_penalty(self):
+        polluted = HedgeCompetition(2, outlier_threshold=None)
+        clean = HedgeCompetition(2, outlier_threshold=1e3)
+        for comp in (polluted, clean):
+            comp.observe(0, 0.5)
+            comp.observe(1, 1e3)
+        # With the threshold, a later honest loss is scaled against the
+        # honest history mean (~0.5), not the penalty-inflated one.
+        assert clean._scaled(0.5) == pytest.approx(1.0, rel=0.1)
+        assert polluted._scaled(0.5) < 0.01
+
+    def test_outlier_before_any_honest_loss_counts_as_one_unit(self):
+        comp = HedgeCompetition(2, outlier_threshold=1e3)
+        # Matches the pre-threshold self-normalizing first observation.
+        assert comp._scaled(1e3) == pytest.approx(1.0)
+        assert comp._loss_history == []
+
+    def test_no_threshold_keeps_legacy_behavior(self):
+        comp = HedgeCompetition(2)
+        comp.observe(0, 1e3)
+        assert comp._loss_history == [1e3]
+
+    def test_state_roundtrip_preserves_filtered_history(self):
+        comp = HedgeCompetition(2, outlier_threshold=1e3)
+        comp.observe(0, 0.5)
+        comp.observe(1, 1e3)
+        restored = HedgeCompetition(2, outlier_threshold=1e3)
+        restored.load_state_dict(comp.state_dict())
+        assert restored._loss_history == [0.5]
+        np.testing.assert_array_equal(restored.weights, comp.weights)
+
+
 class TestValidation:
     def test_rejects_bad_constructor_args(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,155 @@
+"""Unit tests for the probe-evaluation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.probe import PinnedProbeSet, ProbeEngine, pin_probe_batches
+from repro.datasets.synthetic import SyntheticImageConfig, _make_splits
+from repro.nn.data import DataLoader
+
+
+@pytest.fixture(scope="module")
+def val_dataset():
+    config = SyntheticImageConfig(
+        n_classes=4, image_size=8, channels=3, seed=3
+    )
+    return _make_splits(
+        config, n_train=16, n_val=40, n_test=8, augment=False
+    ).val
+
+
+class TestPinnedProbeSet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PinnedProbeSet([])
+
+    def test_iteration_and_counts(self, val_dataset):
+        pinned = pin_probe_batches(
+            DataLoader(val_dataset, batch_size=16), max_batches=2
+        )
+        assert len(pinned) == 2
+        assert pinned.n_samples == 32
+        for images, labels in pinned:
+            assert images.shape == (16, 3, 8, 8)
+            assert labels.dtype == np.int64
+
+    def test_last_partial_batch(self, val_dataset):
+        # 40 samples at batch 16 -> 16 + 16 + 8.
+        pinned = pin_probe_batches(DataLoader(val_dataset, batch_size=16))
+        assert [len(lbl) for _, lbl in pinned.batches] == [16, 16, 8]
+        assert pinned.n_samples == len(val_dataset)
+
+
+class TestPinning:
+    def test_dataset_order_matches_unshuffled_loader(self, val_dataset):
+        loader = DataLoader(val_dataset, batch_size=16)
+        pinned = pin_probe_batches(loader, max_batches=2)
+        direct = list(loader)[:2]
+        for (pi, pl), (di, dl) in zip(pinned, direct):
+            np.testing.assert_array_equal(pi, di)
+            np.testing.assert_array_equal(pl, dl)
+
+    def test_pinning_never_consumes_loader_rng(self, val_dataset):
+        loader = DataLoader(val_dataset, batch_size=16, shuffle=True, seed=9)
+        state_before = loader._rng.bit_generator.state
+        pin_probe_batches(loader, max_batches=2)
+        assert loader._rng.bit_generator.state == state_before
+        # ... so a later iteration of the loader is unaffected.
+        reference = DataLoader(val_dataset, batch_size=16, shuffle=True,
+                               seed=9)
+        for (li, _), (ri, _) in zip(loader, reference):
+            np.testing.assert_array_equal(li, ri)
+
+    def test_pinned_batches_ignore_loader_shuffle(self, val_dataset):
+        shuffled = DataLoader(val_dataset, batch_size=16, shuffle=True,
+                              seed=9)
+        plain = DataLoader(val_dataset, batch_size=16)
+        a = pin_probe_batches(shuffled, max_batches=1)
+        b = pin_probe_batches(plain, max_batches=1)
+        np.testing.assert_array_equal(a.batches[0][0], b.batches[0][0])
+
+    def test_duck_typed_loader_fallback(self, val_dataset):
+        batches = list(DataLoader(val_dataset, batch_size=16))
+
+        class MinimalLoader:
+            def __iter__(self):
+                return iter(batches)
+
+        pinned = pin_probe_batches(MinimalLoader(), max_batches=2)
+        assert len(pinned) == 2
+        np.testing.assert_array_equal(pinned.batches[0][0], batches[0][0])
+
+
+class TestProbeEngine:
+    def _engine(self, val_dataset, **kwargs):
+        loader = DataLoader(val_dataset, batch_size=16)
+        return ProbeEngine(loader, probe_batches=1, **kwargs)
+
+    def test_memoizes_within_step(self, val_dataset):
+        engine = self._engine(val_dataset)
+        calls = []
+
+        def run_eval(pinned):
+            calls.append(pinned.n_samples)
+            return 0.5
+
+        engine.begin_step(0)
+        assert engine.evaluate(("a", 4), run_eval) == 0.5
+        assert engine.evaluate(("a", 4), run_eval) == 0.5
+        assert calls == [16]
+        assert engine.stats() == {
+            "cache_hits": 1, "cache_misses": 1, "rounds": 2,
+        }
+
+    def test_distinct_keys_each_evaluate(self, val_dataset):
+        engine = self._engine(val_dataset)
+        engine.begin_step(0)
+        engine.evaluate(("a", 4), lambda p: 0.1)
+        engine.evaluate(("b", 4), lambda p: 0.2)
+        engine.evaluate(("a", 2), lambda p: 0.3)
+        assert engine.cache_misses == 3
+        assert engine.cache_hits == 0
+
+    def test_begin_step_clears_memo(self, val_dataset):
+        engine = self._engine(val_dataset)
+        engine.begin_step(0)
+        engine.evaluate(("a", 4), lambda p: 0.1)
+        engine.begin_step(1)
+        assert engine.evaluate(("a", 4), lambda p: 0.9) == 0.9
+        assert engine.cache_misses == 2
+        # Lifetime counters survive the step boundary.
+        assert engine.stats()["rounds"] == 2
+
+    def test_memoize_off_always_evaluates(self, val_dataset):
+        engine = self._engine(val_dataset, memoize=False)
+        engine.begin_step(0)
+        losses = [engine.evaluate(("a", 4), lambda p: 0.25)
+                  for _ in range(3)]
+        assert losses == [0.25] * 3
+        assert engine.cache_misses == 3
+        assert engine.cache_hits == 0
+
+    def test_record_serves_penalty_from_cache(self, val_dataset):
+        engine = self._engine(val_dataset)
+        engine.begin_step(0)
+        engine.record(("a", 4), 1e3)
+
+        def must_not_run(pinned):
+            raise AssertionError("cached penalty should skip evaluation")
+
+        assert engine.evaluate(("a", 4), must_not_run) == 1e3
+        assert engine.cache_hits == 1
+
+    def test_failed_eval_not_cached(self, val_dataset):
+        engine = self._engine(val_dataset)
+        engine.begin_step(0)
+        with pytest.raises(RuntimeError):
+            engine.evaluate(("a", 4), lambda p: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert ("a", 4) not in engine._memo
+        # A retry can still populate the cache.
+        assert engine.evaluate(("a", 4), lambda p: 0.7) == 0.7
+
+    def test_lazy_pin_without_begin_step(self, val_dataset):
+        engine = self._engine(val_dataset)
+        assert engine.pinned.n_samples == 16

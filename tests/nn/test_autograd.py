@@ -177,3 +177,81 @@ class TestCustomFunction:
         y = Tensor([1.0])
         Probe.apply(x, y)
         assert seen["flags"] == (True, False)
+
+
+class TestInferenceFastPath:
+    """no_grad dispatch skips the tape entirely but must be
+    numerically invisible."""
+
+    def test_dispatch_counter_increments_only_in_no_grad(self):
+        from repro.nn.autograd import inference_dispatch_count
+
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        before = inference_dispatch_count()
+        _ = x * 2  # grad mode: full apply
+        assert inference_dispatch_count() == before
+        with no_grad():
+            _ = x * 2
+        assert inference_dispatch_count() == before + 1
+
+    def test_values_match_grad_mode(self, rng=np.random.default_rng(5)):
+        from repro.nn import functional as F
+
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)) * 0.1)
+        b = Tensor(rng.normal(size=(4,)) * 0.1)
+        full = F.conv2d(x, w, b, stride=1, padding=1)
+        with no_grad():
+            fast = F.conv2d(x, w, b, stride=1, padding=1)
+        np.testing.assert_array_equal(fast.data, full.data)
+        assert fast._grad_fn is None
+        assert not fast.requires_grad
+
+    def test_scratch_reuse_does_not_corrupt_sequential_results(self):
+        # Same-shape consecutive conv calls share one im2col scratch
+        # buffer in no_grad mode; each result must reflect its own
+        # input, and grad-mode results must be byte-identical.
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(6)
+        w = Tensor(rng.normal(size=(2, 3, 3, 3)) * 0.1)
+        xs = [Tensor(rng.normal(size=(2, 3, 6, 6))) for _ in range(3)]
+        reference = [F.conv2d(x, w, padding=1).data.copy() for x in xs]
+        with no_grad():
+            fast = [F.conv2d(x, w, padding=1).data for x in xs]
+        for got, want in zip(fast, reference):
+            np.testing.assert_array_equal(got, want)
+
+    def test_kwargs_and_non_tensor_args_unwrap(self):
+        class Scale(Function):
+            @staticmethod
+            def forward(ctx: Context, a, factor):
+                return a * factor
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return (grad,)
+
+        with no_grad():
+            out = Scale.apply(Tensor([2.0]), factor=3.0)
+        np.testing.assert_allclose(out.data, [6.0])
+
+    def test_saves_in_fast_path_are_discarded(self):
+        # Functions save for backward unconditionally; the shared
+        # inference context must swallow those saves without growing.
+        class Saver(Function):
+            @staticmethod
+            def forward(ctx: Context, a):
+                ctx.save(a, a * 2)
+                return a
+
+            @staticmethod
+            def backward(ctx: Context, grad):
+                return (grad,)
+
+        from repro.nn.autograd import _INFERENCE_CTX
+
+        with no_grad():
+            for _ in range(4):
+                Saver.apply(Tensor([1.0]))
+        assert _INFERENCE_CTX.saved == ()

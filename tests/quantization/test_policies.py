@@ -53,6 +53,23 @@ class TestDoReFa:
         assert w.grad is not None
         assert np.abs(w.grad).sum() > 0
 
+    def test_all_zero_weights_stay_zero(self):
+        # Regression: max|tanh(w)| == 0 made the affine map 0/0 -> NaN.
+        q = DoReFaWeightQuantizer()
+        for bits in (2, 4, 8):
+            q.set_bits(bits)
+            out = q(Tensor(np.zeros(16))).data
+            assert np.isfinite(out).all()
+            np.testing.assert_array_equal(out, 0.0)
+
+    def test_all_zero_weights_keep_gradient_path(self):
+        q = DoReFaWeightQuantizer()
+        q.set_bits(4)
+        w = Tensor(np.zeros(8), requires_grad=True)
+        q(w).sum().backward()
+        assert w.grad is not None
+        assert np.isfinite(w.grad).all()
+
     def test_activation_clips_to_unit(self, rng):
         q = DoReFaActivationQuantizer()
         q.set_bits(4)
