@@ -105,6 +105,11 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
         log.info(f"baseline accuracy: {baseline:.3f}")
 
         train, val = task.loaders()
+        if args.prefetch:
+            # One-batch lookahead for the collaboration-stage training
+            # loader.  The synthetic tasks are transform-free, so this
+            # is exactly RNG-neutral (see nn.data.DataLoader).
+            train.prefetch = True
         config = CCQConfig(
             ladder=DEFAULT_LADDER,
             probes_per_step=args.probes,
@@ -121,6 +126,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             seed=args.seed,
             probe_cache=not args.no_probe_cache,
+            probe_workers=args.probe_workers,
+            qweight_cache=not args.no_qweight_cache,
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
             input_shape=task.input_shape,
@@ -172,6 +179,9 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 "probe_rounds": result.probe_rounds,
                 "probe_forward_passes": result.probe_forward_passes,
                 "probe_cache_hits": result.probe_cache_hits,
+                "probe_workers": args.probe_workers,
+                "qweight_cache_hits": result.qweight_cache_hits,
+                "qweight_cache_misses": result.qweight_cache_misses,
             }
             if telemetry.directory is not None:
                 payload["telemetry_dir"] = str(telemetry.directory)
@@ -248,6 +258,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable per-step probe memoization (every probe round "
              "runs a forward pass; the trajectory is identical either "
              "way — this exists for verification and benchmarking)",
+    )
+    p_run.add_argument(
+        "--probe-workers", type=int, default=0,
+        help="fan competition probes out across this many persistent "
+             "worker processes (0 = serial, the default; losses are "
+             "bit-identical to serial for any worker count, and the "
+             "run falls back to serial if the pool cannot start)",
+    )
+    p_run.add_argument(
+        "--no-qweight-cache", action="store_true",
+        help="disable the per-step frozen-layer quantized-weight cache "
+             "(every no-grad forward re-quantizes every layer; the "
+             "trajectory is identical either way — this exists for "
+             "verification and benchmarking)",
+    )
+    p_run.add_argument(
+        "--prefetch", action="store_true",
+        help="assemble training batches one batch ahead on a "
+             "background thread during collaboration (RNG-neutral for "
+             "the built-in transform-free tasks)",
     )
     p_run.add_argument(
         "--max-retries", type=int, default=2,

@@ -37,7 +37,14 @@ in a step score on identical data, regardless of the validation
 loader's shuffle RNG) and repeated candidates within a step are served
 from an exact per-step cache instead of re-running the forward pass —
 ``U`` probe rounds cost at most ``min(U, n_awake)`` forward passes with
-a provably unchanged trajectory.
+a provably unchanged trajectory.  With ``CCQConfig.probe_workers > 0``
+those forward passes additionally fan out across a persistent forked
+worker pool (``repro.parallel``) that shares the frozen model state
+through shared memory; the sequential Hedge loop consumes the
+prefetched losses, which are bit-identical to serial for any worker
+count.  Orthogonally, ``CCQConfig.qweight_cache`` reuses each frozen
+layer's quantized weight tensor across all probes of a stage instead
+of re-quantizing every layer on every probe forward.
 
 The driver is also *observable*.  Passing a live
 :class:`repro.telemetry.Telemetry` as ``CCQQuantizer(telemetry=...)``
@@ -53,6 +60,7 @@ no-ops, so an uninstrumented run pays nothing.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -60,18 +68,20 @@ import numpy as np
 
 from ..nn.data import DataLoader
 from ..nn.modules import Module
-from ..nn.serialization import CheckpointError
+from ..nn.serialization import CheckpointError, named_state_arrays
 from ..quantization.policy import QuantPolicy
 from ..quantization.qmodules import (
+    enable_weight_cache,
     get_bit_config,
     quantize_model,
     quantized_layers,
     set_bit_config,
+    weight_cache_stats,
 )
 from .collaboration import RecoveryConfig, RecoveryReport, recover
 from .competition import CompetitionResult, HedgeCompetition, LambdaSchedule
 from .compression import model_size_report
-from .probe import ProbeEngine
+from .probe import ProbeEngine, ProbeOutcome
 from .resilience import DivergenceError, RetryPolicy
 from .runstate import (
     RunStateStore,
@@ -137,6 +147,24 @@ class CCQConfig:
     # knob is deliberately NOT part of the resume fingerprint: runs
     # with different cache settings are interchangeable.
     probe_cache: bool = True
+    # Parallel probe fan-out (see repro.parallel).  With N > 0 workers,
+    # each step's distinct (expert, next_bits) candidates are evaluated
+    # speculatively on a persistent forked worker pool — sharing the
+    # frozen model state through shared memory — and the sequential
+    # Hedge loop consumes the prefetched losses.  The losses are
+    # bit-identical to the serial path for any worker count, so like
+    # probe_cache this knob is trajectory-invariant and deliberately
+    # NOT part of the resume fingerprint.  0 = serial (the default);
+    # a pool that cannot start (sandboxed CI) falls back to serial.
+    probe_workers: int = 0
+    # Per-step frozen-layer quantized-weight cache: within a
+    # competition stage the shadow weights are constant, so each
+    # layer's quantized weight tensor is computed once per (layer,
+    # bits) and reused across probes.  Inference-only (training
+    # forwards bypass it), invalidated whenever the weights may have
+    # moved — exact, trajectory-invariant, and excluded from the
+    # fingerprint like the two knobs above.
+    qweight_cache: bool = True
     # -- resilience ------------------------------------------------------
     # Directory for the run journal + atomic checkpoints (None disables
     # both; the run is then neither resumable nor crash-safe).
@@ -177,15 +205,21 @@ class CCQResult:
     compression: float
     probe_forward_passes: int
     # Probe-engine accounting: rounds served from the per-step memo vs
-    # rounds that ran a forward pass (misses == probe_forward_passes
-    # when the engine is on for the whole run).
+    # rounds whose loss came from a fresh evaluation.  On the serial
+    # path misses == probe_forward_passes; with the parallel backend
+    # forward passes also count speculative worker evaluations the
+    # Hedge loop never consumed, so they can exceed the misses.
     probe_cache_hits: int = 0
     probe_cache_misses: int = 0
+    # Frozen-layer quantized-weight cache counters (serial and parallel
+    # parent-side forwards; worker-side replicas are not aggregated).
+    qweight_cache_hits: int = 0
+    qweight_cache_misses: int = 0
 
     @property
     def probe_rounds(self) -> int:
-        """Total competition probe rounds issued (hits + forward passes)."""
-        return self.probe_cache_hits + self.probe_forward_passes
+        """Total competition probe rounds issued (hits + misses)."""
+        return self.probe_cache_hits + self.probe_cache_misses
 
     @property
     def accuracy_trace(self) -> List[Tuple[int, float, str]]:
@@ -280,6 +314,25 @@ class CCQQuantizer:
         )
         self._base_lr = self.config.lr
         self.probe_forward_passes = 0
+        if self.config.probe_workers < 0:
+            raise ValueError(
+                f"probe_workers must be >= 0, "
+                f"got {self.config.probe_workers}"
+            )
+        # Parallel probe backend: created lazily at the first fan-out
+        # (so serial runs never fork), torn down in run()'s finally.
+        # A pool that fails to start or dies mid-run flips
+        # _pool_failed and the search continues serially — same
+        # losses, same trajectory.
+        self._pool: Optional[Any] = None
+        self._pool_failed = False
+        # Frozen-layer quantized-weight cache: enabled for the whole
+        # run, scoped per stage (off while collaboration trains, reset
+        # whenever the weights may have moved).
+        if self.config.qweight_cache:
+            enable_weight_cache(self.model, True)
+        self._qweight_restored = (0, 0)
+        self._qweight_prev = (0, 0)
         if self.config.size_metric not in ("memory", "macs"):
             raise ValueError(
                 f"size_metric must be 'memory' or 'macs', "
@@ -324,6 +377,8 @@ class CCQQuantizer:
                 "ccq.recovery_retry", "ccq.expert_skipped",
                 "ccq.fatal_divergence",
                 "ccq.probe_cache_hits", "ccq.probe_cache_misses",
+                "ccq.qweight_cache_hits", "ccq.qweight_cache_misses",
+                "ccq.probe_pool_evals", "ccq.probe_pool_fallbacks",
             ):
                 self.telemetry.counter(counter_name)
 
@@ -518,6 +573,174 @@ class CCQQuantizer:
                 )
             return PROBE_DIVERGENCE_PENALTY
 
+    # -- parallel fan-out --------------------------------------------------------
+
+    def _ensure_pool(self) -> Optional[Any]:
+        """The worker pool, started on first use; ``None`` means serial."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_failed or self.config.probe_workers <= 0:
+            return None
+        try:
+            from ..parallel import create_probe_pool
+
+            self._pool = create_probe_pool(
+                self.model,
+                self.config.probe_workers,
+                self.config.quantize_activations,
+            )
+        except Exception as err:
+            # Graceful degradation (sandboxed CI, fork unavailable,
+            # shm forbidden): the serial path computes identical
+            # losses, so the run continues instead of dying.
+            self._pool_failed = True
+            self.telemetry.counter("ccq.probe_pool_fallbacks").inc()
+            self.telemetry.logger.warning(
+                "probe pool unavailable; falling back to serial probes",
+                workers=self.config.probe_workers, error=str(err),
+            )
+            return None
+        self.telemetry.gauge("ccq.probe_pool_workers").set(
+            self._pool.n_workers
+        )
+        self.telemetry.logger.info(
+            "probe pool started", workers=self._pool.n_workers,
+        )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is None:
+            return
+        try:
+            self._pool.close()
+        finally:
+            self._pool = None
+
+    def _fan_out_probes(self, step: int) -> None:
+        """Evaluate the step's likely candidates on the pool, ahead of
+        the draw.
+
+        Within a step the model is frozen, so each of the distinct
+        ``(expert, next_bits)`` candidates has one fixed loss no matter
+        when (or whether) the Hedge loop draws it — they can be
+        computed up front, in parallel.  A step's ``U`` rounds touch at
+        most ``min(U, n_awake)`` distinct candidates, so speculation is
+        capped there: when more experts are awake than rounds exist,
+        only the ``U`` most probable ones (under the distribution round
+        0 draws from — a deterministic choice that cannot perturb the
+        trajectory) are fanned out, and a drawn candidate that was not
+        speculated simply evaluates serially inside the loop.  The
+        results are staged in the probe engine and consumed by the
+        *unchanged* sequential competition, which keeps the observation
+        order, the journal and the trajectory bit-identical to a serial
+        run.  Candidates the loop never draws are speculative waste
+        (counted in ``probe_forward_passes``, invisible everywhere
+        else).
+        """
+        if self.config.probe_workers <= 0 or self._pool_failed:
+            return
+        candidates = [
+            (i, self._next_bits(i))
+            for i in range(len(self.experts))
+            if self._is_awake(i)
+        ]
+        limit = min(self.config.probes_per_step, len(candidates))
+        if len(candidates) > limit:
+            awake = [self._is_awake(i) for i in range(len(self.experts))]
+            p = self.competition.probabilities(awake)
+            # Stable: probability descending, expert index ascending.
+            candidates = sorted(
+                candidates, key=lambda c: (-p[c[0]], c[0])
+            )[:limit]
+        if len(candidates) < 2:
+            return  # nothing to fan out
+        pool = self._ensure_pool()
+        if pool is None:
+            return
+        telemetry = self.telemetry
+        try:
+            with telemetry.span(
+                "probe_fanout", step=step, candidates=len(candidates)
+            ):
+                pool.broadcast(
+                    named_state_arrays(self.model),
+                    get_bit_config(self.model),
+                    self.probe_engine.pinned.batches,
+                )
+                tasks = [
+                    (
+                        (index, bits),
+                        [self.layers[m][0]
+                         for m in self.experts[index][1]],
+                        bits,
+                    )
+                    for index, bits in candidates
+                ]
+                raw_outcomes = pool.evaluate_candidates(tasks)
+        except Exception as err:
+            self._pool_failed = True
+            self._close_pool()
+            telemetry.counter("ccq.probe_pool_fallbacks").inc()
+            telemetry.logger.warning(
+                "probe pool failed mid-run; falling back to serial "
+                "probes",
+                step=step, error=str(err),
+            )
+            return
+        outcomes: Dict[Any, ProbeOutcome] = {}
+        for key, raw in raw_outcomes.items():
+            ok = raw["status"] == "ok"
+            elapsed = float(raw.get("elapsed", 0.0))
+            outcomes[key] = ProbeOutcome(
+                loss=raw.get("loss"),
+                elapsed=elapsed,
+                diverged=not ok,
+                worker=raw.get("worker"),
+                message=str(raw.get("message", "")),
+                stage=str(raw.get("stage", "")),
+                batch_index=raw.get("batch_index"),
+                value=raw.get("value"),
+            )
+            self.probe_forward_passes += 1
+            if telemetry.enabled:
+                telemetry.histogram(
+                    "ccq.probe_worker_eval_s", worker=raw.get("worker")
+                ).observe(elapsed)
+                if ok:
+                    telemetry.histogram("ccq.probe_loss").observe(
+                        float(raw["loss"])
+                    )
+        telemetry.counter("ccq.probe_pool_evals").inc(len(outcomes))
+        self.probe_engine.prefetch(outcomes)
+
+    # -- quantized-weight cache scoping -----------------------------------------
+
+    def _qcache_reset(self) -> None:
+        """(Re-)arm the frozen-weight cache for a pure-inference phase.
+
+        Clears any entries quantized from weights that may since have
+        moved; a no-op when the cache is configured off.
+        """
+        if self.config.qweight_cache:
+            enable_weight_cache(self.model, True)
+
+    def _qcache_off(self) -> None:
+        """Disarm the cache before a phase that trains the weights.
+
+        Collaboration interleaves weight updates with per-epoch
+        evaluations, so serving any cached tensor there would be
+        stale; the cache stays off until the next :meth:`_qcache_reset`.
+        """
+        if self.config.qweight_cache:
+            enable_weight_cache(self.model, False)
+
+    def _qweight_totals(self) -> Tuple[int, int]:
+        stats = weight_cache_stats(self.model)
+        return (
+            self._qweight_restored[0] + stats["hits"],
+            self._qweight_restored[1] + stats["misses"],
+        )
+
     # -- snapshots / checkpoints ------------------------------------------------
 
     def _capture_snapshot(self) -> Dict[str, Any]:
@@ -610,6 +833,8 @@ class CCQQuantizer:
             "probe_forward_passes": self.probe_forward_passes,
             "probe_cache_hits": self.probe_engine.cache_hits,
             "probe_cache_misses": self.probe_engine.cache_misses,
+            "qweight_cache_hits": self._qweight_totals()[0],
+            "qweight_cache_misses": self._qweight_totals()[1],
             "forced_asleep": sorted(self._forced_asleep),
             "initial_eval": eval_to_json(self._initial_eval),
             "records": [record_to_json(r) for r in self._records],
@@ -652,6 +877,17 @@ class CCQQuantizer:
         self.probe_engine.cache_misses = int(
             state.get("probe_cache_misses", 0)
         )
+        # Quantized-weight cache counters resume as an offset: the live
+        # per-layer counters restart from whatever this process already
+        # accumulated, so zero them and carry the saved totals aside.
+        for _, layer in self.layers:
+            layer._wq_cache_hits = 0
+            layer._wq_cache_misses = 0
+        self._qweight_restored = (
+            int(state.get("qweight_cache_hits", 0)),
+            int(state.get("qweight_cache_misses", 0)),
+        )
+        self._qweight_prev = self._qweight_restored
         self._forced_asleep = set(
             int(i) for i in state.get("forced_asleep", [])
         )
@@ -705,6 +941,9 @@ class CCQQuantizer:
             for i in range(len(self.experts)):
                 if self._participates(i):
                     self._set_bits(i, start)
+            # The initial recovery trains — same cache scoping as a
+            # per-step collaboration.
+            self._qcache_off()
             if self.config.initial_recovery_adaptive:
                 self.optimizer.lr = self._base_lr
                 recover(
@@ -723,6 +962,7 @@ class CCQQuantizer:
                         max_batches=self.config.recovery.max_batches_per_epoch,
                         telemetry=self.telemetry,
                     )
+            self._qcache_reset()
             return evaluate(
                 self.model, self.val_loader, telemetry=self.telemetry
             )
@@ -740,6 +980,11 @@ class CCQQuantizer:
     def _execute_step_inner(self, step: int) -> Optional[StepRecord]:
         store = self.store
         telemetry = self.telemetry
+        # The previous step's collaboration moved the weights; from
+        # here until this step's collaboration the model is frozen, so
+        # the whole stage (pre eval, every probe, post-quant eval)
+        # shares one quantized-weight cache generation.
+        self._qcache_reset()
         try:
             with telemetry.span("eval", stage="pre_step", step=step):
                 pre = evaluate(
@@ -760,11 +1005,19 @@ class CCQQuantizer:
         # New stage: drop the previous step's memo (the collaboration
         # just changed the weights) and pin this step's probe subset.
         self.probe_engine.begin_step(step)
+        # Whole-stage probe wall clock (fan-out + sequential Hedge
+        # loop), in both serial and parallel modes — the number the
+        # search-cost benchmark compares across worker counts.
+        probe_t0 = time.perf_counter()
+        self._fan_out_probes(step)
         result = self.competition.run_step(
             evaluate_candidate=self._guarded_probe,
             awake=self._awake_mask(),
             layer_sizes=self._layer_sizes(),
             step=step,
+        )
+        telemetry.histogram("ccq.probe_stage_s").observe(
+            time.perf_counter() - probe_t0
         )
         if telemetry.enabled:
             # Per-expert Hedge weight + current bit gauges, labeled by
@@ -811,6 +1064,10 @@ class CCQQuantizer:
                     post = evaluate(
                         self.model, self.val_loader, telemetry=telemetry
                     )
+                # Collaboration trains: no cached quantized weight may
+                # be served past this point (recover's own per-epoch
+                # evals run on moving weights).
+                self._qcache_off()
                 with telemetry.span(
                     "recover", step=step, layer=name, attempt=attempt
                 ):
@@ -829,6 +1086,9 @@ class CCQQuantizer:
                 break
             except DivergenceError as err:
                 self._restore_snapshot(snapshot)
+                # Weights rolled back: re-arm the cache for the next
+                # attempt's post-quant eval.
+                self._qcache_reset()
                 telemetry.counter("ccq.recovery_retry", layer=name).inc()
                 telemetry.logger.warning(
                     "recovery diverged; rolled back and retrying",
@@ -888,6 +1148,15 @@ class CCQQuantizer:
                 compression=compression,
             )
             telemetry.counter("ccq.steps").inc()
+            if telemetry.enabled and self.config.qweight_cache:
+                hits, misses = self._qweight_totals()
+                telemetry.counter("ccq.qweight_cache_hits").inc(
+                    hits - self._qweight_prev[0]
+                )
+                telemetry.counter("ccq.qweight_cache_misses").inc(
+                    misses - self._qweight_prev[1]
+                )
+                self._qweight_prev = (hits, misses)
             telemetry.gauge("ccq.accuracy").set(report.end_accuracy)
             telemetry.gauge("ccq.compression").set(compression)
             telemetry.event(
@@ -930,8 +1199,14 @@ class CCQQuantizer:
         continues the interrupted trajectory exactly; otherwise it starts
         fresh.
         """
-        with self.telemetry.span("run", resume=resume):
-            result = self._run_inner(resume)
+        try:
+            with self.telemetry.span("run", resume=resume):
+                result = self._run_inner(resume)
+        finally:
+            # The probe pool (if any) must not outlive the run — also
+            # on a kill mid-step, so the shared segment is unlinked and
+            # the workers reaped before a resuming process starts.
+            self._close_pool()
         self.telemetry.flush()
         return result
 
@@ -1009,6 +1284,7 @@ class CCQQuantizer:
             telemetry.flush()
 
         telemetry.progress.close()
+        self._qcache_reset()
         with telemetry.span("eval", stage="final"):
             final = evaluate(
                 self.model, self.val_loader, telemetry=telemetry
@@ -1031,6 +1307,7 @@ class CCQQuantizer:
                 accuracy=final.accuracy,
                 compression=compression,
             )
+        qweight_hits, qweight_misses = self._qweight_totals()
         return CCQResult(
             records=records,
             final_eval=final,
@@ -1040,4 +1317,6 @@ class CCQQuantizer:
             probe_forward_passes=self.probe_forward_passes,
             probe_cache_hits=self.probe_engine.cache_hits,
             probe_cache_misses=self.probe_engine.cache_misses,
+            qweight_cache_hits=qweight_hits,
+            qweight_cache_misses=qweight_misses,
         )

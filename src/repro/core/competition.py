@@ -268,6 +268,16 @@ class HedgeCompetition:
         ``evaluate_candidate(m)`` must return the validation loss of the
         network with layer ``m`` (and only layer ``m``) quantized to its
         next bit level — Eq. (4)/(5) of the paper.
+
+        The loop is deliberately sequential and must stay that way:
+        each round's draw depends on the distribution updated by every
+        previous round's observed loss, so rounds cannot be reordered
+        or batched here.  Parallelism lives a level below — within a
+        step the model is frozen, so each candidate's loss is a fixed
+        number that ``evaluate_candidate`` may serve from a memo or
+        from results a worker pool computed ahead of the draw
+        (``repro.parallel``); either way this loop observes the same
+        losses in the same order as a fully serial run.
         """
         probes: List[int] = []
         probe_losses: Dict[int, float] = {}

@@ -35,16 +35,46 @@ engine state in the checkpoint.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from ..nn.data import DataLoader
 from ..telemetry import NULL_TELEMETRY, Telemetry
+from .resilience import DivergenceError
 
-__all__ = ["PinnedProbeSet", "ProbeEngine", "pin_probe_batches"]
+__all__ = [
+    "PinnedProbeSet",
+    "ProbeEngine",
+    "ProbeOutcome",
+    "pin_probe_batches",
+]
 
 Batch = Tuple[np.ndarray, np.ndarray]
+
+
+def _is_transform_free(dataset: object) -> bool:
+    """Whether ``dataset`` declares itself free of stochastic transforms.
+
+    True for array-backed datasets (``.images`` / ``.labels`` ndarrays)
+    with no transform attached: indexing such a dataset is a pure array
+    read, so a pinned subset taken once is valid forever.
+    """
+    return (
+        getattr(dataset, "transform", object()) is None
+        and isinstance(getattr(dataset, "images", None), np.ndarray)
+        and isinstance(getattr(dataset, "labels", None), np.ndarray)
+    )
 
 
 class PinnedProbeSet:
@@ -95,17 +125,63 @@ def pin_probe_batches(
         n = len(dataset)
         if max_batches is not None:
             n = min(n, max_batches * batch_size)
-        for start in range(0, n, batch_size):
-            pairs = [dataset[i] for i in range(start, min(start + batch_size, n))]
-            images = np.stack([img for img, _ in pairs])
-            labels = np.asarray([label for _, label in pairs], dtype=np.int64)
-            batches.append((images, labels))
+        if _is_transform_free(dataset):
+            # Pure array reads: slice the backing arrays directly
+            # instead of the per-sample loop + np.stack — identical
+            # values (no transform runs either way), far fewer Python
+            # round-trips.
+            for start in range(0, n, batch_size):
+                end = min(start + batch_size, n)
+                batches.append((
+                    dataset.images[start:end],
+                    dataset.labels[start:end].astype(np.int64),
+                ))
+        else:
+            for start in range(0, n, batch_size):
+                pairs = [
+                    dataset[i]
+                    for i in range(start, min(start + batch_size, n))
+                ]
+                images = np.stack([img for img, _ in pairs])
+                labels = np.asarray(
+                    [label for _, label in pairs], dtype=np.int64
+                )
+                batches.append((images, labels))
     else:
         for batch_index, (images, labels) in enumerate(loader):
             if max_batches is not None and batch_index >= max_batches:
                 break
             batches.append((np.asarray(images), np.asarray(labels)))
     return PinnedProbeSet(batches)
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One candidate's result as computed by the parallel backend.
+
+    ``loss`` is set for clean evaluations; a diverged evaluation
+    carries the :class:`~repro.core.resilience.DivergenceError` context
+    fields instead, so consumption can re-raise a faithful
+    reconstruction.  ``elapsed`` is the worker-side wall clock of the
+    forward pass (what the serial path would have timed).
+    """
+
+    loss: Optional[float] = None
+    elapsed: float = 0.0
+    diverged: bool = False
+    worker: Optional[int] = None
+    message: str = ""
+    stage: str = ""
+    batch_index: Optional[int] = None
+    value: Optional[float] = None
+
+    def make_error(self) -> DivergenceError:
+        return DivergenceError(
+            self.message,
+            stage=self.stage,
+            batch_index=self.batch_index,
+            value=self.value,
+        )
 
 
 class ProbeEngine:
@@ -140,7 +216,13 @@ class ProbeEngine:
         self.memoize = memoize
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._memo: Dict[Hashable, float] = {}
+        self._prefetched: Dict[Hashable, ProbeOutcome] = {}
         self._pinned: Optional[PinnedProbeSet] = None
+        # Bumps every time the pinned subset is actually re-materialized
+        # — the parallel backend uses it to tell "same data as last
+        # broadcast" from "fresh draw".
+        self.pin_version = 0
+        self._pin_reusable = False
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -149,20 +231,34 @@ class ProbeEngine:
     def begin_step(self, step: Optional[int] = None) -> None:
         """Start a new competition stage: fresh memo table, fresh pin.
 
-        The memo MUST be dropped between steps — the model's weights
-        change during collaboration, so a candidate's loss from an
-        earlier step is stale.  The probe subset is re-pinned so
-        datasets with stochastic transforms draw identically whether or
-        not the previous step's cache was hit.
+        The memo (and any prefetched results) MUST be dropped between
+        steps — the model's weights change during collaboration, so a
+        candidate's loss from an earlier step is stale.  The probe
+        subset is re-pinned only when it could differ from the previous
+        step's: a transform-free dataset read in dataset order yields
+        identical batches every time, so its pin is taken once and
+        reused; datasets with stochastic transforms re-pin each step so
+        they draw identically whether or not the previous step's cache
+        was hit.
         """
         self._memo.clear()
+        self._prefetched.clear()
+        if self._pinned is not None and self._pin_reusable:
+            return
+        self._pin()
+
+    def _pin(self) -> None:
         self._pinned = pin_probe_batches(self.loader, self.probe_batches)
+        self.pin_version += 1
+        self._pin_reusable = _is_transform_free(
+            getattr(self.loader, "dataset", None)
+        )
 
     @property
     def pinned(self) -> PinnedProbeSet:
         """The current step's probe subset (pinned on first use)."""
         if self._pinned is None:
-            self._pinned = pin_probe_batches(self.loader, self.probe_batches)
+            self._pin()
         return self._pinned
 
     # -- evaluation ----------------------------------------------------------
@@ -176,16 +272,49 @@ class ProbeEngine:
 
         ``run_eval`` receives the pinned probe subset and must return
         the scalar validation loss.  It is only invoked on a cache
-        miss; a raised exception (e.g. ``DivergenceError``) propagates
-        without populating the cache — use :meth:`record` to memoize a
-        substitute loss for such candidates.
+        miss with no prefetched result pending; a raised exception
+        (e.g. ``DivergenceError``) propagates without populating the
+        cache — use :meth:`record` to memoize a substitute loss for
+        such candidates.
+
+        Lookup order: memo, then prefetched parallel results (a
+        diverged prefetch re-raises its reconstructed
+        ``DivergenceError`` here, at consumption time, so journaling
+        order matches a serial run exactly), then the serial
+        ``run_eval``.
         """
         if self.memoize and key in self._memo:
             self.cache_hits += 1
             self.telemetry.counter("ccq.probe_cache_hits").inc()
             return self._memo[key]
+        outcome = self._prefetched.get(key)
+        if outcome is not None:
+            if outcome.diverged:
+                self.telemetry.histogram(
+                    "ccq.probe_eval_failed_s"
+                ).observe(outcome.elapsed)
+                raise outcome.make_error()
+            self.telemetry.histogram("ccq.probe_eval_s").observe(
+                outcome.elapsed
+            )
+            self.cache_misses += 1
+            self.telemetry.counter("ccq.probe_cache_misses").inc()
+            loss = float(outcome.loss)
+            if self.memoize:
+                self._memo[key] = loss
+            return loss
         t0 = time.perf_counter()
-        loss = float(run_eval(self.pinned))
+        try:
+            loss = float(run_eval(self.pinned))
+        except Exception:
+            # The elapsed time of a failed (typically diverged)
+            # evaluation is real wall-clock; timing it into its own
+            # histogram keeps report-run coverage honest without
+            # polluting the fast-path timings.
+            self.telemetry.histogram("ccq.probe_eval_failed_s").observe(
+                time.perf_counter() - t0
+            )
+            raise
         self.telemetry.histogram("ccq.probe_eval_s").observe(
             time.perf_counter() - t0
         )
@@ -194,6 +323,18 @@ class ProbeEngine:
         if self.memoize:
             self._memo[key] = loss
         return loss
+
+    def prefetch(self, outcomes: Mapping[Hashable, ProbeOutcome]) -> None:
+        """Stage parallel-backend results for consumption by ``evaluate``.
+
+        Prefetched losses are *not* observations yet: counters,
+        telemetry and journals only move when the competition actually
+        asks for a candidate, so a speculative evaluation the Hedge
+        loop never draws leaves no trace in the trajectory-adjacent
+        accounting.  Prefetched entries survive ``memoize=False`` (they
+        are served repeatedly), and are dropped at ``begin_step``.
+        """
+        self._prefetched.update(outcomes)
 
     def record(self, key: Hashable, loss: float) -> None:
         """Memoize ``loss`` for ``key`` without running an evaluation.

@@ -28,6 +28,8 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "atomic_savez",
+    "named_state_arrays",
+    "load_state_arrays",
 ]
 
 _BITS_KEY = "__bit_config_json__"
@@ -70,6 +72,45 @@ def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> None:
         except OSError:
             pass
         raise
+
+
+def named_state_arrays(model: Module) -> Dict[str, np.ndarray]:
+    """The model's parameters and buffers as *live* (uncopied) ndarrays.
+
+    Same key scheme as ``Module.state_dict`` (buffers carry a
+    ``buffer.`` prefix) but zero-copy: the returned arrays alias the
+    model's storage.  This is the broadcast format of the parallel
+    probe backend — the arrays are packed straight into shared memory
+    without an intermediate copy.  Callers must not mutate them.
+    """
+    state: Dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        state[name] = p.data
+    for name, b in model.named_buffers():
+        state[f"buffer.{name}"] = b
+    return state
+
+
+def load_state_arrays(model: Module, arrays: Dict[str, np.ndarray]) -> None:
+    """Copy ``arrays`` (a :func:`named_state_arrays` mapping) into ``model``.
+
+    The inverse of :func:`named_state_arrays`: values are copied
+    in-place into the model's existing parameter/buffer storage
+    (``np.copyto``), so optimizer slots and shared-parameter aliasing
+    survive.  Extra or missing keys raise :class:`CheckpointError`.
+    """
+    params = dict(model.named_parameters())
+    buffers = dict(model.named_buffers())
+    for name, value in arrays.items():
+        if name.startswith("buffer."):
+            key = name[len("buffer."):]
+            if key not in buffers:
+                raise CheckpointError(f"unexpected buffer {key!r}")
+            np.copyto(buffers[key], value)
+        else:
+            if name not in params:
+                raise CheckpointError(f"unexpected parameter {name!r}")
+            np.copyto(params[name].data, value)
 
 
 def save_checkpoint(

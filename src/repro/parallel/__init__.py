@@ -1,0 +1,39 @@
+"""Parallel execution backend for CCQ probe evaluation.
+
+A persistent multiprocess worker pool (:class:`ProbeWorkerPool`) with
+shared-memory ndarray broadcast (:class:`SharedArrayStore`): each
+competition step, the frozen model state and pinned probe batches are
+packed once into a shared segment, the step's distinct ``(expert,
+next_bits)`` candidates are fanned out across the workers, and the
+losses come back bit-identical to the serial path for any worker count
+(see ``docs/parallel.md`` for the determinism contract).
+
+Construction goes through :func:`create_probe_pool` so the CCQ driver
+(and tests) can swap the factory; any failure to start is a
+:class:`PoolError`, which callers treat as "run serial instead".
+"""
+
+from __future__ import annotations
+
+from .pool import PoolError, ProbeTask, ProbeWorkerPool
+from .sharedmem import SharedArrayStore, attach_arrays, views_from
+
+__all__ = [
+    "PoolError",
+    "ProbeTask",
+    "ProbeWorkerPool",
+    "SharedArrayStore",
+    "attach_arrays",
+    "views_from",
+    "create_probe_pool",
+]
+
+
+def create_probe_pool(
+    model, n_workers: int, quantize_activations: bool = True
+) -> ProbeWorkerPool:
+    """Start a probe pool; raises :class:`PoolError` when it cannot."""
+    return ProbeWorkerPool(
+        model, n_workers=n_workers,
+        quantize_activations=quantize_activations,
+    )

@@ -1,0 +1,237 @@
+"""The persistent probe worker pool.
+
+Parent-side orchestration of the parallel probe backend: ``fork`` the
+workers once (each inherits a private replica of the model), then per
+step broadcast the frozen state through shared memory and fan the
+step's distinct candidates out across the workers.
+
+Determinism contract: a worker evaluates a candidate with exactly the
+serial code path (:func:`repro.core.training.evaluate` over the same
+pinned batches, same reduction order, IEEE-deterministic numpy kernels),
+so the loss it returns is bit-identical to what the parent would have
+computed — for any worker count, including 1.  The pool never reorders
+anything the competition observes: results are collected into a dict
+keyed by candidate and handed to the probe engine, which serves them in
+the exact order the sequential Hedge loop asks.
+
+Failure policy: anything that goes wrong *starting* the pool (no fork
+on the platform, sandbox forbids shared memory or processes) raises
+:class:`PoolError` at construction; anything that goes wrong mid-run
+(worker died, queue timeout, worker shipped a non-divergence error)
+raises :class:`PoolError` from :meth:`evaluate_candidates`.  The caller
+(``CCQQuantizer``) treats both identically: log, close, and continue on
+the bit-identical serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sharedmem import SharedArrayStore
+from .worker import PINNED_PREFIX, worker_main
+
+__all__ = ["PoolError", "ProbeWorkerPool", "ProbeTask"]
+
+# (candidate key, member layer names, probed bit width)
+ProbeTask = Tuple[Hashable, Sequence[str], int]
+
+_START_TIMEOUT_S = 20.0
+_RESULT_TIMEOUT_S = 120.0
+
+
+class PoolError(RuntimeError):
+    """The pool cannot start or cannot deliver results.
+
+    Recoverable by design: the serial probe path computes identical
+    losses, so the caller falls back instead of failing the run.
+    """
+
+
+class ProbeWorkerPool:
+    """A persistent set of forked probe evaluators.
+
+    Parameters
+    ----------
+    model:
+        The live model; each worker inherits a copy-on-write replica at
+        fork time and re-syncs its state from shared memory on every
+        broadcast, so the fork-time snapshot's staleness never matters.
+    n_workers:
+        Number of worker processes (>= 1).
+    quantize_activations:
+        Mirror of ``CCQConfig.quantize_activations`` — whether a probe
+        steps ``a_bits`` together with ``w_bits``.
+    """
+
+    def __init__(
+        self,
+        model,
+        n_workers: int,
+        quantize_activations: bool = True,
+        start_timeout: float = _START_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._store = SharedArrayStore()
+        self._workers: List[Any] = []
+        self._command_queues: List[Any] = []
+        self._closed = False
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as err:
+            raise PoolError(f"fork start method unavailable: {err}") from err
+        try:
+            self._result_queue = ctx.Queue()
+            for worker_id in range(n_workers):
+                command_queue = ctx.Queue()
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(worker_id, model, quantize_activations,
+                          command_queue, self._result_queue),
+                    daemon=True,
+                    name=f"probe-worker-{worker_id}",
+                )
+                process.start()
+                self._command_queues.append(command_queue)
+                self._workers.append(process)
+            ready: set = set()
+            while len(ready) < n_workers:
+                try:
+                    kind, worker_id = self._result_queue.get(
+                        timeout=start_timeout
+                    )
+                except queue_module.Empty:
+                    raise PoolError(
+                        f"probe workers failed to start within "
+                        f"{start_timeout:.0f}s "
+                        f"({len(ready)}/{n_workers} ready)"
+                    )
+                if kind == "ready":
+                    ready.add(worker_id)
+        except PoolError:
+            self.close()
+            raise
+        except Exception as err:
+            self.close()
+            raise PoolError(f"probe pool failed to start: {err}") from err
+
+    # -- broadcast -----------------------------------------------------------
+
+    def broadcast(
+        self,
+        state_arrays: Dict[str, np.ndarray],
+        bit_config: Dict[str, Tuple[Optional[int], Optional[int]]],
+        pinned_batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Ship the frozen state + pinned probe batches to every worker.
+
+        Blocks until every worker acknowledges the sync, so a
+        subsequent broadcast can safely overwrite the shared block.
+        """
+        self._check_alive()
+        arrays: Dict[str, np.ndarray] = dict(state_arrays)
+        for i, (images, labels) in enumerate(pinned_batches):
+            arrays[f"{PINNED_PREFIX}{i}.images"] = images
+            arrays[f"{PINNED_PREFIX}{i}.labels"] = labels
+        name, manifest, _ = self._store.ensure(arrays)
+        for command_queue in self._command_queues:
+            command_queue.put(("sync", name, manifest, bit_config))
+        acked: set = set()
+        while len(acked) < self.n_workers:
+            message = self._get_result(stage="sync")
+            if message[0] == "synced":
+                acked.add(message[1])
+            # Stray eval results from an aborted previous step are
+            # drained and dropped here; nothing else is in flight.
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_candidates(
+        self, tasks: Sequence[ProbeTask]
+    ) -> Dict[Hashable, Dict[str, Any]]:
+        """Fan ``tasks`` across the workers; return outcomes by key.
+
+        Each outcome dict carries ``status`` (``"ok"`` | ``"diverged"``),
+        ``loss`` or divergence context fields, ``elapsed`` seconds and
+        the evaluating ``worker`` id.  A worker-side non-divergence
+        error raises :class:`PoolError`.
+        """
+        self._check_alive()
+        for i, (key, layer_names, bits) in enumerate(tasks):
+            self._command_queues[i % self.n_workers].put(
+                ("eval", i, list(layer_names), bits)
+            )
+        outcomes: Dict[Hashable, Dict[str, Any]] = {}
+        pending = len(tasks)
+        while pending:
+            message = self._get_result(stage="eval")
+            if message[0] != "result":
+                continue  # late sync ack; harmless
+            outcome = message[1]
+            if outcome["status"] == "error":
+                raise PoolError(
+                    f"probe worker {outcome['worker']} failed: "
+                    f"{outcome['message']}"
+                )
+            key = tasks[int(outcome["task_id"])][0]
+            outcomes[key] = outcome
+            pending -= 1
+        return outcomes
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _get_result(self, stage: str) -> Any:
+        try:
+            return self._result_queue.get(timeout=_RESULT_TIMEOUT_S)
+        except queue_module.Empty:
+            dead = [p.name for p in self._workers if not p.is_alive()]
+            detail = f"; dead workers: {dead}" if dead else ""
+            raise PoolError(
+                f"timed out waiting for probe worker {stage} "
+                f"result{detail}"
+            )
+
+    def _check_alive(self) -> None:
+        if self._closed:
+            raise PoolError("probe pool is closed")
+        dead = [p.name for p in self._workers if not p.is_alive()]
+        if dead:
+            raise PoolError(f"probe workers died: {dead}")
+
+    def close(self) -> None:
+        """Stop the workers and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for command_queue in self._command_queues:
+            try:
+                command_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._workers:
+            process.join(timeout=5.0)
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for command_queue in self._command_queues:
+            try:
+                command_queue.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            self._result_queue.close()
+        except (AttributeError, OSError, ValueError):
+            pass
+        self._store.unlink()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

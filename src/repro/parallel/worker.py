@@ -1,0 +1,194 @@
+"""The probe-worker child process loop.
+
+Each worker owns a private replica of the model (inherited through the
+``fork`` at pool start) and serves two commands from its queue:
+
+``sync``
+    Re-attach (if the segment changed) the shared-memory broadcast,
+    copy the frozen state into the replica, apply the bit
+    configuration, and rebuild the pinned probe batches.  After a sync
+    the replica is byte-identical to the parent's model.
+
+``eval``
+    Set one candidate's layers to its probed bit width, run the exact
+    serial evaluation (:func:`repro.core.training.evaluate` over the
+    pinned batches — same reduction order, same ``no_grad`` fast path),
+    restore the bits, and ship ``(loss, elapsed)`` back.  A
+    :class:`~repro.core.resilience.DivergenceError` is not an error
+    here: its context fields are shipped so the parent can re-raise a
+    faithful reconstruction at the moment the competition actually
+    consumes the candidate (keeping journals identical to a serial
+    run).  Any other exception is shipped as ``status="error"`` and
+    makes the parent fall back to the serial path.
+
+Workers never touch telemetry, journals or checkpoints — observation
+and persistence stay single-writer in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["worker_main", "PINNED_PREFIX"]
+
+# Broadcast keys carrying pinned probe batches instead of model state.
+PINNED_PREFIX = "pinned."
+
+# How long a worker blocks on its command queue before re-checking that
+# the parent is still alive (so an orphaned worker exits on its own).
+_POLL_S = 1.0
+
+
+def split_broadcast(
+    views: Dict[str, np.ndarray]
+) -> "tuple[Dict[str, np.ndarray], List[tuple]]":
+    """Split broadcast views into (model state, pinned batches).
+
+    Pinned batches are keyed ``pinned.<i>.images`` / ``pinned.<i>.labels``
+    and returned *copied* (the state is copied into the model anyway),
+    so no view outlives the shared segment.
+    """
+    state: Dict[str, np.ndarray] = {}
+    images: Dict[int, np.ndarray] = {}
+    labels: Dict[int, np.ndarray] = {}
+    for key, view in views.items():
+        if not key.startswith(PINNED_PREFIX):
+            state[key] = view
+            continue
+        _, index, kind = key.split(".")
+        if kind == "images":
+            images[int(index)] = np.array(view)
+        else:
+            labels[int(index)] = np.array(view)
+    batches = [(images[i], labels[i]) for i in sorted(images)]
+    return state, batches
+
+
+def _parent_alive() -> bool:
+    try:
+        import multiprocessing
+
+        parent = multiprocessing.parent_process()
+        return parent is None or parent.is_alive()
+    except Exception:
+        # Fallback: a reparented orphan's ppid is init's.
+        return os.getppid() != 1
+
+
+def worker_main(
+    worker_id: int,
+    model,
+    quantize_activations: bool,
+    command_queue,
+    result_queue,
+) -> None:
+    """Entry point of one forked probe worker (runs until ``stop``)."""
+    from ..core.probe import PinnedProbeSet
+    from ..core.resilience import DivergenceError
+    from ..core.training import evaluate
+    from ..nn.serialization import load_state_arrays
+    from ..quantization.qmodules import (
+        invalidate_weight_cache,
+        quantized_layers,
+        set_bit_config,
+    )
+    from .sharedmem import attach_arrays, views_from
+
+    layers = dict(quantized_layers(model))
+    shm = None
+    shm_name: Optional[str] = None
+    pinned: Optional[PinnedProbeSet] = None
+    result_queue.put(("ready", worker_id))
+    try:
+        while True:
+            try:
+                message = command_queue.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if not _parent_alive():
+                    break
+                continue
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "sync":
+                _, name, manifest, bit_config = message
+                if shm is not None and name != shm_name:
+                    shm.close()
+                    shm = None
+                if shm is None:
+                    shm, views = attach_arrays(name, manifest)
+                    shm_name = name
+                else:
+                    # Same segment, refreshed contents: rebuild the
+                    # views over the existing mapping (no re-map).
+                    views = views_from(shm, manifest)
+                state, batches = split_broadcast(views)
+                load_state_arrays(model, state)
+                del state, views
+                set_bit_config(model, bit_config)
+                # The sync rewrote the weights in place; any quantized
+                # weights cached during the previous step are stale.
+                invalidate_weight_cache(model)
+                # Mirror load_checkpoint: the synced state carries the
+                # trained quantizer values, so statistics-initializing
+                # quantizers must not re-derive them on first forward.
+                for layer in layers.values():
+                    for quantizer in (
+                        layer.weight_quantizer, layer.act_quantizer
+                    ):
+                        if hasattr(quantizer, "_initialized"):
+                            quantizer._initialized = True
+                pinned = PinnedProbeSet(batches)
+                result_queue.put(("synced", worker_id))
+                continue
+            if kind == "eval":
+                _, task_id, layer_names, bits = message
+                outcome: Dict[str, object] = {
+                    "task_id": task_id, "worker": worker_id,
+                }
+                t0 = time.perf_counter()
+                try:
+                    if pinned is None:
+                        raise RuntimeError("eval before first sync")
+                    saved = [
+                        (layers[n].w_bits, layers[n].a_bits)
+                        for n in layer_names
+                    ]
+                    try:
+                        for n in layer_names:
+                            layers[n].w_bits = bits
+                            if quantize_activations:
+                                layers[n].a_bits = bits
+                        result = evaluate(model, pinned)
+                    finally:
+                        for n, (w_bits, a_bits) in zip(layer_names, saved):
+                            layers[n].w_bits = w_bits
+                            layers[n].a_bits = a_bits
+                    outcome["status"] = "ok"
+                    outcome["loss"] = float(result.loss)
+                except DivergenceError as err:
+                    outcome["status"] = "diverged"
+                    outcome["message"] = str(err)
+                    outcome["stage"] = err.stage
+                    outcome["batch_index"] = err.batch_index
+                    outcome["value"] = err.value
+                except Exception as err:
+                    # Ship it instead of dying: the parent treats any
+                    # non-divergence failure as "fall back to serial",
+                    # and a live worker still drains its stop command.
+                    outcome["status"] = "error"
+                    outcome["message"] = repr(err)
+                outcome["elapsed"] = time.perf_counter() - t0
+                result_queue.put(("result", outcome))
+    finally:
+        if shm is not None:
+            pinned = None
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass

@@ -1,0 +1,238 @@
+"""Parallel probe fan-out: the worker count must be invisible.
+
+Acceptance for the parallel backend: with ``probe_workers=N`` the CCQ
+trajectory — winners, bit configuration, per-round probe losses, per-step
+accuracies, journal contents — is bit-for-bit identical to the serial
+run for *any* worker count, including 1.  Speculative worker
+evaluations only ever show up in ``probe_forward_passes``.  A pool that
+cannot start (or dies mid-run) silently degrades to the serial path
+with the same guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core import CCQQuantizer
+from repro.nn.data import DataLoader
+from repro.parallel import PoolError
+from repro.quantization import quantize_model
+
+from .fault_injection import FaultyLoader, SimulatedKill
+from .test_probe_determinism import make_config, trajectory
+
+
+@pytest.fixture()
+def run_factory(pretrained_state, tiny_splits):
+    state, _ = pretrained_state
+
+    def build():
+        net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+        net.load_state_dict(state)
+        quantize_model(net, "pact")
+        train = DataLoader(tiny_splits.train, batch_size=64, shuffle=True,
+                           seed=0)
+        val = DataLoader(tiny_splits.val, batch_size=100, shuffle=True,
+                         seed=7)
+        return net, train, val
+
+    return build
+
+
+def probe_trace(result):
+    """Per-step probe sequence and per-round losses, in draw order."""
+    return [
+        (
+            r.competition.probes,
+            [r.competition.probe_losses[m] for m in r.competition.probes],
+        )
+        for r in result.records
+    ]
+
+
+def journal_payload(journal):
+    """Journal contents with the wall-clock stamps stripped."""
+    return [
+        {k: v for k, v in event.items() if k not in ("ts", "mono")}
+        for event in journal.events()
+    ]
+
+
+class TestWorkerCountInvariance:
+    def test_trajectory_identical_across_worker_counts(self, run_factory):
+        results = {}
+        for workers in (0, 1, 2, 4):
+            net, train, val = run_factory()
+            quantizer = CCQQuantizer(
+                net, train, val,
+                config=make_config(max_steps=4, probe_workers=workers),
+            )
+            results[workers] = quantizer.run()
+            # The parallel runs really used the pool (no silent
+            # serial fallback would make this test vacuous).
+            if workers > 0:
+                assert not quantizer._pool_failed
+
+        serial = results[0]
+        for workers in (1, 2, 4):
+            parallel = results[workers]
+            assert trajectory(parallel) == trajectory(serial)
+            # Stronger than winners: every probe round observed the
+            # bit-identical loss, in the identical draw order.
+            assert probe_trace(parallel) == probe_trace(serial)
+            assert parallel.probe_rounds == serial.probe_rounds
+            assert parallel.probe_cache_hits == serial.probe_cache_hits
+            # Speculation can only add forward passes, never remove.
+            assert (
+                parallel.probe_forward_passes
+                >= serial.probe_forward_passes
+            )
+
+    def test_journal_identical_serial_vs_parallel(self, run_factory,
+                                                  tmp_path):
+        journals = {}
+        for workers in (0, 2):
+            net, train, val = run_factory()
+            quantizer = CCQQuantizer(
+                net, train, val,
+                config=make_config(
+                    tmp_path / f"ckpt{workers}",
+                    max_steps=3, probe_workers=workers,
+                ),
+            )
+            quantizer.run()
+            journals[workers] = journal_payload(quantizer.store.journal)
+        assert journals[2] == journals[0]
+
+
+class TestKillAndResumeWithPool:
+    def test_resumed_parallel_run_matches_parallel_reference(
+        self, run_factory, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+
+        net, train, val = run_factory()
+        reference = CCQQuantizer(
+            net, train, val, config=make_config(probe_workers=2)
+        ).run()
+
+        net, train, val = run_factory()
+        killed_train = FaultyLoader(train, fail_at_batch=25, mode="kill")
+        interrupted = CCQQuantizer(
+            net, killed_train, val,
+            config=make_config(ckpt, probe_workers=2),
+        )
+        with pytest.raises(SimulatedKill):
+            interrupted.run()
+        interrupted._close_pool()
+        assert interrupted.store.journal.events("step_complete")
+
+        net, train, val = run_factory()
+        resumed = CCQQuantizer(
+            net, train, val, config=make_config(ckpt, probe_workers=2)
+        )
+        result = resumed.run(resume=True)
+
+        assert trajectory(result) == trajectory(reference)
+        assert result.probe_rounds == reference.probe_rounds
+
+
+class TestSerialFallback:
+    def test_pool_start_failure_falls_back_to_serial(
+        self, run_factory, monkeypatch
+    ):
+        def refuse(*args, **kwargs):
+            raise PoolError("no processes in this sandbox")
+
+        import repro.parallel
+
+        monkeypatch.setattr(repro.parallel, "create_probe_pool", refuse)
+
+        net, train, val = run_factory()
+        serial = CCQQuantizer(
+            net, train, val, config=make_config(max_steps=3)
+        ).run()
+
+        net, train, val = run_factory()
+        quantizer = CCQQuantizer(
+            net, train, val,
+            config=make_config(max_steps=3, probe_workers=2),
+        )
+        fallback = quantizer.run()
+
+        assert quantizer._pool_failed
+        assert trajectory(fallback) == trajectory(serial)
+        # Fully serial: not a single speculative evaluation happened.
+        assert (
+            fallback.probe_forward_passes == serial.probe_forward_passes
+        )
+
+    def test_mid_run_pool_failure_falls_back_to_serial(
+        self, run_factory, monkeypatch
+    ):
+        class DyingPool:
+            n_workers = 2
+
+            def __init__(self):
+                self.closed = False
+
+            def broadcast(self, *args, **kwargs):
+                raise PoolError("worker died")
+
+            def close(self):
+                self.closed = True
+
+        pools = []
+
+        def make_pool(*args, **kwargs):
+            pool = DyingPool()
+            pools.append(pool)
+            return pool
+
+        import repro.parallel
+
+        monkeypatch.setattr(repro.parallel, "create_probe_pool", make_pool)
+
+        net, train, val = run_factory()
+        serial = CCQQuantizer(
+            net, train, val, config=make_config(max_steps=3)
+        ).run()
+
+        net, train, val = run_factory()
+        quantizer = CCQQuantizer(
+            net, train, val,
+            config=make_config(max_steps=3, probe_workers=2),
+        )
+        result = quantizer.run()
+
+        assert quantizer._pool_failed
+        assert [pool.closed for pool in pools] == [True]
+        assert trajectory(result) == trajectory(serial)
+
+
+class TestConfigSurface:
+    def test_negative_probe_workers_rejected(self, run_factory):
+        net, train, val = run_factory()
+        with pytest.raises(ValueError):
+            CCQQuantizer(
+                net, train, val, config=make_config(probe_workers=-1)
+            )
+
+    def test_parallel_knobs_absent_from_fingerprint(self, run_factory,
+                                                    tmp_path):
+        """probe_workers / qweight_cache are trajectory-invariant, so
+        flipping them must not invalidate a checkpoint."""
+        ckpt = tmp_path / "ckpt"
+        net, train, val = run_factory()
+        CCQQuantizer(
+            net, train, val, config=make_config(ckpt, max_steps=2)
+        ).run()
+
+        net, train, val = run_factory()
+        flipped = CCQQuantizer(
+            net, train, val,
+            config=make_config(ckpt, probe_workers=2,
+                               qweight_cache=False),
+        )
+        result = flipped.run(resume=True)
+        assert [r.step for r in result.records] == list(range(8))

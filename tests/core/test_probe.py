@@ -153,3 +153,146 @@ class TestProbeEngine:
     def test_lazy_pin_without_begin_step(self, val_dataset):
         engine = self._engine(val_dataset)
         assert engine.pinned.n_samples == 16
+
+
+class TestVectorizedPinning:
+    def test_sliced_pin_matches_per_sample_fallback(self, val_dataset):
+        """The array-slicing fast path and the per-sample loop must pin
+        identical batches (no transform runs either way)."""
+        from repro.nn.data import ArrayDataset
+
+        # Same arrays, but an identity transform forces the slow path.
+        slow_ds = ArrayDataset(
+            val_dataset.images, val_dataset.labels,
+            transform=lambda img, rng: img,
+        )
+        fast = pin_probe_batches(DataLoader(val_dataset, batch_size=16))
+        slow = pin_probe_batches(DataLoader(slow_ds, batch_size=16))
+        assert len(fast) == len(slow)
+        for (fi, fl), (si, sl) in zip(fast, slow):
+            np.testing.assert_array_equal(fi, si)
+            np.testing.assert_array_equal(fl, sl)
+            assert fl.dtype == sl.dtype == np.int64
+
+    def test_max_batches_respected_on_fast_path(self, val_dataset):
+        pinned = pin_probe_batches(
+            DataLoader(val_dataset, batch_size=16), max_batches=1
+        )
+        assert len(pinned) == 1
+        np.testing.assert_array_equal(
+            pinned.batches[0][0], val_dataset.images[:16]
+        )
+
+
+class TestPinReuse:
+    def test_transform_free_pin_survives_steps(self, val_dataset):
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1)
+        engine.begin_step(0)
+        first = engine.pinned
+        assert engine.pin_version == 1
+        engine.begin_step(1)
+        assert engine.pinned is first
+        assert engine.pin_version == 1
+
+    def test_transformed_dataset_repins_each_step(self, val_dataset):
+        from repro.nn.data import ArrayDataset
+
+        ds = ArrayDataset(val_dataset.images, val_dataset.labels,
+                          transform=lambda img, rng: img)
+        engine = ProbeEngine(DataLoader(ds, batch_size=16),
+                             probe_batches=1)
+        engine.begin_step(0)
+        engine.begin_step(1)
+        assert engine.pin_version == 2
+
+    def test_lazy_pin_is_reused_by_first_begin_step(self, val_dataset):
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1)
+        pinned = engine.pinned  # lazy pin before any step
+        engine.begin_step(0)
+        assert engine.pinned is pinned
+        assert engine.pin_version == 1
+
+
+class TestFailedEvalTiming:
+    def test_failed_eval_lands_in_failed_histogram(self, val_dataset):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.in_memory()
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1, telemetry=telemetry)
+        engine.begin_step(0)
+
+        def explode(pinned):
+            raise RuntimeError("diverged")
+
+        with pytest.raises(RuntimeError):
+            engine.evaluate(("a", 4), explode)
+        assert telemetry.histogram("ccq.probe_eval_failed_s").count == 1
+        assert telemetry.histogram("ccq.probe_eval_s").count == 0
+
+        engine.evaluate(("a", 4), lambda p: 0.5)
+        assert telemetry.histogram("ccq.probe_eval_s").count == 1
+
+
+class TestPrefetchedOutcomes:
+    def test_prefetched_loss_served_without_eval(self, val_dataset):
+        from repro.core.probe import ProbeOutcome
+
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1)
+        engine.begin_step(0)
+        engine.prefetch({("a", 4): ProbeOutcome(loss=0.25, elapsed=0.01,
+                                                worker=1)})
+
+        def must_not_run(pinned):
+            raise AssertionError("prefetched candidate re-evaluated")
+
+        assert engine.evaluate(("a", 4), must_not_run) == 0.25
+        assert engine.cache_misses == 1
+        # Consumed once, it is memoized like a serial evaluation.
+        assert engine.evaluate(("a", 4), must_not_run) == 0.25
+        assert engine.cache_hits == 1
+
+    def test_prefetched_divergence_reraises_at_consumption(
+        self, val_dataset
+    ):
+        from repro.core.probe import ProbeOutcome
+        from repro.core.resilience import DivergenceError
+
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1)
+        engine.begin_step(0)
+        engine.prefetch({("a", 4): ProbeOutcome(
+            diverged=True, message="loss is nan", stage="probe",
+            batch_index=0, value=float("nan"), elapsed=0.01,
+        )})
+        with pytest.raises(DivergenceError) as excinfo:
+            engine.evaluate(("a", 4), lambda p: 0.5)
+        assert excinfo.value.stage == "probe"
+        assert excinfo.value.batch_index == 0
+
+    def test_prefetched_survive_memoize_off(self, val_dataset):
+        from repro.core.probe import ProbeOutcome
+
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1, memoize=False)
+        engine.begin_step(0)
+        engine.prefetch({("a", 4): ProbeOutcome(loss=0.25)})
+        for _ in range(3):
+            assert engine.evaluate(
+                ("a", 4),
+                lambda p: (_ for _ in ()).throw(AssertionError()),
+            ) == 0.25
+        assert engine.cache_misses == 3
+
+    def test_begin_step_drops_prefetched(self, val_dataset):
+        from repro.core.probe import ProbeOutcome
+
+        engine = ProbeEngine(DataLoader(val_dataset, batch_size=16),
+                             probe_batches=1)
+        engine.begin_step(0)
+        engine.prefetch({("a", 4): ProbeOutcome(loss=0.25)})
+        engine.begin_step(1)
+        assert engine.evaluate(("a", 4), lambda p: 0.75) == 0.75

@@ -1,0 +1,141 @@
+"""The probe worker pool: bit-identical worker evals, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.core.probe import pin_probe_batches
+from repro.core.training import evaluate
+from repro.datasets.synthetic import SyntheticImageConfig, _make_splits
+from repro.nn.data import DataLoader
+from repro.nn.serialization import named_state_arrays
+from repro.parallel import PoolError, ProbeWorkerPool, create_probe_pool
+from repro.quantization import (
+    get_bit_config,
+    quantize_model,
+    quantized_layers,
+)
+
+
+@pytest.fixture(scope="module")
+def val_dataset():
+    config = SyntheticImageConfig(
+        n_classes=10, image_size=12, channels=3, seed=0
+    )
+    return _make_splits(
+        config, n_train=16, n_val=64, n_test=8, augment=False
+    ).val
+
+
+@pytest.fixture()
+def quantized_net():
+    net = models.SmallConvNet(width=8, rng=np.random.default_rng(0))
+    quantize_model(net, "pact")
+    return net
+
+
+def serial_loss(net, layers, layer_names, bits, pinned):
+    saved = [(layers[n].w_bits, layers[n].a_bits) for n in layer_names]
+    try:
+        for n in layer_names:
+            layers[n].w_bits = bits
+            layers[n].a_bits = bits
+        return float(evaluate(net, pinned).loss)
+    finally:
+        for n, (w, a) in zip(layer_names, saved):
+            layers[n].w_bits = w
+            layers[n].a_bits = a
+
+
+class TestPoolEvaluation:
+    def test_worker_losses_bit_identical_to_serial(
+        self, quantized_net, val_dataset
+    ):
+        net = quantized_net
+        layers = dict(quantized_layers(net))
+        names = list(layers)
+        pinned = pin_probe_batches(
+            DataLoader(val_dataset, batch_size=32), max_batches=1
+        )
+        pool = create_probe_pool(net, n_workers=2)
+        try:
+            pool.broadcast(
+                named_state_arrays(net), get_bit_config(net),
+                pinned.batches,
+            )
+            tasks = [
+                ((i, 4), [name], 4) for i, name in enumerate(names[:3])
+            ]
+            outcomes = pool.evaluate_candidates(tasks)
+            assert set(outcomes) == {key for key, _, _ in tasks}
+            for (key, layer_names, bits) in tasks:
+                outcome = outcomes[key]
+                assert outcome["status"] == "ok"
+                assert outcome["elapsed"] > 0
+                expected = serial_loss(net, layers, layer_names, bits,
+                                       pinned)
+                assert outcome["loss"] == expected
+
+            # The candidates landed on both workers (round-robin over 2).
+            assert {o["worker"] for o in outcomes.values()} == {0, 1}
+        finally:
+            pool.close()
+
+    def test_rebroadcast_picks_up_new_state(
+        self, quantized_net, val_dataset
+    ):
+        net = quantized_net
+        layers = dict(quantized_layers(net))
+        name = next(iter(layers))
+        pinned = pin_probe_batches(
+            DataLoader(val_dataset, batch_size=32), max_batches=1
+        )
+        pool = ProbeWorkerPool(net, n_workers=1)
+        try:
+            pool.broadcast(named_state_arrays(net), get_bit_config(net),
+                           pinned.batches)
+            first = pool.evaluate_candidates([(("k", 4), [name], 4)])
+
+            # Perturb the model, re-broadcast (same layout -> same
+            # segment), and the worker must score the *new* weights.
+            for _, p in net.named_parameters():
+                p.data += 0.05
+            pool.broadcast(named_state_arrays(net), get_bit_config(net),
+                           pinned.batches)
+            second = pool.evaluate_candidates([(("k", 4), [name], 4)])
+
+            assert first[("k", 4)]["loss"] != second[("k", 4)]["loss"]
+            expected = serial_loss(net, layers, [name], 4, pinned)
+            assert second[("k", 4)]["loss"] == expected
+        finally:
+            pool.close()
+
+
+class TestPoolFailure:
+    def test_unknown_layer_ships_error_and_raises(
+        self, quantized_net, val_dataset
+    ):
+        pinned = pin_probe_batches(
+            DataLoader(val_dataset, batch_size=32), max_batches=1
+        )
+        pool = ProbeWorkerPool(quantized_net, n_workers=1)
+        try:
+            pool.broadcast(
+                named_state_arrays(quantized_net),
+                get_bit_config(quantized_net), pinned.batches,
+            )
+            with pytest.raises(PoolError, match="failed"):
+                pool.evaluate_candidates([(("k", 4), ["no.such.layer"], 4)])
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects_work(self, quantized_net):
+        pool = ProbeWorkerPool(quantized_net, n_workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(PoolError):
+            pool.evaluate_candidates([])
+
+    def test_invalid_worker_count(self, quantized_net):
+        with pytest.raises(ValueError):
+            ProbeWorkerPool(quantized_net, n_workers=0)

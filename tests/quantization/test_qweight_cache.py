@@ -1,0 +1,196 @@
+"""The per-step frozen-layer quantized-weight cache.
+
+The cache memoizes each layer's quantized weight tensor per bit width
+while the weights are frozen (no-grad evaluation).  It must be
+*transparent*: identical forward outputs with the cache on or off, no
+interaction with training (grad-enabled forwards bypass it entirely),
+and an explicit invalidation contract for the CCQ step lifecycle
+(probe -> restore -> win -> collaborate).
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn.autograd import no_grad
+from repro.nn.tensor import Tensor
+from repro.quantization import (
+    enable_weight_cache,
+    invalidate_weight_cache,
+    quantize_model,
+    quantized_layers,
+    set_uniform_bits,
+    weight_cache_stats,
+)
+
+
+def small_net(seed=0, policy="pact"):
+    net = models.SmallConvNet(width=4, rng=np.random.default_rng(seed))
+    return quantize_model(net, policy)
+
+
+def batch(rng, n=2):
+    return Tensor(rng.normal(size=(n, 3, 8, 8)))
+
+
+class TestTransparency:
+    def test_outputs_identical_cache_on_and_off(self, rng):
+        x = batch(rng)
+        net = small_net()
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            reference = net(x).data.copy()
+
+        enable_weight_cache(net, True)
+        with no_grad():
+            cold = net(x).data.copy()   # populates the cache
+            warm = net(x).data.copy()   # served from the cache
+        np.testing.assert_array_equal(cold, reference)
+        np.testing.assert_array_equal(warm, reference)
+        stats = weight_cache_stats(net)
+        assert stats["misses"] == 4   # one per layer
+        assert stats["hits"] == 4
+
+    def test_bits_change_is_a_distinct_entry(self, rng):
+        x = batch(rng)
+        net = small_net()
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            out4 = net(x).data.copy()
+            net(x)
+            set_uniform_bits(net, 2, 2)
+            out2 = net(x).data.copy()
+        assert not np.allclose(out4, out2)
+        # Going back to 4 bits hits the existing entry.
+        hits_before = weight_cache_stats(net)["hits"]
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            again = net(x).data.copy()
+        np.testing.assert_array_equal(again, out4)
+        assert weight_cache_stats(net)["hits"] == hits_before + 4
+
+    def test_fp_layers_cache_the_passthrough(self, rng):
+        """bits=None (float passthrough) is a cacheable key too."""
+        x = batch(rng)
+        net = small_net()
+        enable_weight_cache(net, True)
+        with no_grad():
+            net(x)
+            net(x)
+        assert weight_cache_stats(net)["hits"] == 4
+
+
+class TestTrainingBypass:
+    def test_grad_enabled_forward_bypasses_cache(self, rng):
+        x = batch(rng)
+        net = small_net()
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 4, 4)
+        net(x)  # grad enabled: no caching at all
+        assert weight_cache_stats(net) == {"hits": 0, "misses": 0}
+
+    def test_stats_initializing_quantizer_bypasses_cache(self, rng):
+        """LSQ derives its step size on the first forward — caching
+        before that initialization would freeze a garbage scale."""
+        x = batch(rng)
+        net = small_net(policy="lsq")
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            net(x)
+        # First forward initialized the quantizers; only subsequent
+        # forwards may cache.
+        assert weight_cache_stats(net)["hits"] == 0
+        with no_grad():
+            net(x)
+            net(x)
+        assert weight_cache_stats(net)["hits"] >= 4
+
+
+class TestInvalidation:
+    def test_step_lifecycle_probe_restore_win_collaborate(self, rng):
+        """The CCQ step sequence the cache must survive bit-exactly."""
+        x = batch(rng)
+        net = small_net()
+        layers = dict(quantized_layers(net))
+        name, probed = next(iter(layers.items()))
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 8, 8)
+
+        with no_grad():
+            pre = net(x).data.copy()          # pre-probe eval at 8 bits
+
+            # Probe: drop one layer to 4 bits, evaluate, restore.
+            probed.w_bits = 4
+            probe_out = net(x).data.copy()
+            probed.w_bits = 8
+            restored = net(x).data.copy()     # must hit the 8-bit entries
+            np.testing.assert_array_equal(restored, pre)
+
+            # Win: the probed bits become permanent.  Weights are still
+            # frozen, so the probe's 4-bit entry is served again.
+            hits_before = weight_cache_stats(net)["hits"]
+            probed.w_bits = 4
+            won = net(x).data.copy()
+            np.testing.assert_array_equal(won, probe_out)
+            assert weight_cache_stats(net)["hits"] > hits_before
+
+        # Collaborate: weights move -> the cache must be dropped for
+        # the duration (CCQ disables it around recovery training).
+        enable_weight_cache(net, False)
+        probed.weight.data += 0.1
+        with no_grad():
+            moved = net(x).data.copy()
+        assert not np.array_equal(moved, won)
+
+        # Re-enabling starts cold: fresh quantization of the moved
+        # weights, not a stale replay.
+        enable_weight_cache(net, True)
+        with no_grad():
+            reenabled = net(x).data.copy()
+        np.testing.assert_array_equal(reenabled, moved)
+
+    def test_invalidate_after_inplace_weight_update(self, rng):
+        x = batch(rng)
+        net = small_net()
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            net(x)
+        for _, layer in quantized_layers(net):
+            layer.weight.data += 0.05
+        invalidate_weight_cache(net)
+        with no_grad():
+            fresh = net(x).data.copy()
+
+        reference = small_net()
+        set_uniform_bits(reference, 4, 4)
+        for (_, a), (_, b) in zip(quantized_layers(reference),
+                                  quantized_layers(net)):
+            a.weight.data[...] = b.weight.data
+            a.act_quantizer.alpha.data[...] = b.act_quantizer.alpha.data
+        with no_grad():
+            expected = reference(x).data
+        np.testing.assert_array_equal(fresh, expected)
+
+    def test_disabled_cache_never_populates(self, rng):
+        x = batch(rng)
+        net = small_net()
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            net(x)
+            net(x)
+        assert weight_cache_stats(net) == {"hits": 0, "misses": 0}
+        for _, layer in quantized_layers(net):
+            assert layer._wq_cache == {}
+
+
+class TestStateDictIsolation:
+    def test_cache_absent_from_state_dict(self, rng):
+        net = small_net()
+        enable_weight_cache(net, True)
+        set_uniform_bits(net, 4, 4)
+        with no_grad():
+            net(batch(rng))
+        assert not any("wq_cache" in k for k in net.state_dict())
