@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Optional
 
@@ -90,6 +91,58 @@ def _make_telemetry(args: argparse.Namespace) -> Telemetry:
     )
 
 
+class _SignalGuard:
+    """Graceful SIGTERM/SIGINT handling around a CCQ run.
+
+    The first signal requests a cooperative stop: the quantizer
+    finishes the step in flight, checkpoints it, journals an
+    ``interrupted`` event and returns — the journal is flushed and the
+    probe pool torn down by the normal ``run()`` exit path, so an
+    interrupted run leaves exactly the artifacts a finished one does.
+    A second signal stops waiting and raises ``KeyboardInterrupt``
+    (``run()``'s ``finally`` still reaps the pool; every journal append
+    is already fsynced).
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, quantizer, log) -> None:
+        self._quantizer = quantizer
+        self._log = log
+        self._previous: dict = {}
+        self.signum: Optional[int] = None
+
+    def handle(self, signum, frame) -> None:
+        if self.signum is not None:
+            raise KeyboardInterrupt
+        self.signum = signum
+        self._quantizer.request_stop()
+        self._log.warning(
+            "signal received; finishing the current step, writing a "
+            "final checkpoint, then exiting (repeat to abort now)",
+            signal=signal.Signals(signum).name,
+        )
+
+    def __enter__(self) -> "_SignalGuard":
+        for signum in self.SIGNALS:
+            try:
+                self._previous[signum] = signal.signal(
+                    signum, self.handle
+                )
+            except (ValueError, OSError):
+                # Not the main thread / unsupported platform: run
+                # unguarded rather than refuse to run.
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+
+
 def _cmd_run_ccq(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -127,6 +180,7 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
             seed=args.seed,
             probe_cache=not args.no_probe_cache,
             probe_workers=args.probe_workers,
+            probe_timeout=args.probe_timeout,
             qweight_cache=not args.no_qweight_cache,
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
@@ -151,7 +205,14 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
             log.info(f"resuming from checkpoint in {args.checkpoint_dir}")
         # Per-step progress is logged live by the quantizer itself
         # (through the same logger), so no post-run replay is needed.
-        result = ccq.run(resume=args.resume)
+        with _SignalGuard(ccq, log) as guard:
+            try:
+                result = ccq.run(resume=args.resume)
+            except KeyboardInterrupt:
+                log.error(
+                    "aborted by repeated signal; resume with --resume"
+                )
+                return 130
 
         log.info(f"final accuracy: {result.final_eval.accuracy:.3f} "
                  f"(degradation {baseline - result.final_eval.accuracy:+.3f})")
@@ -193,6 +254,12 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 f"telemetry written to {telemetry.directory} "
                 f"(inspect with: repro report-run {telemetry.directory})"
             )
+        if guard.signum is not None:
+            log.warning(
+                "run interrupted by signal; checkpointed state is "
+                "complete — continue with --resume"
+            )
+            return 128 + guard.signum
         return 0
     finally:
         telemetry.close()
@@ -265,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
              "worker processes (0 = serial, the default; losses are "
              "bit-identical to serial for any worker count, and the "
              "run falls back to serial if the pool cannot start)",
+    )
+    p_run.add_argument(
+        "--probe-timeout", type=float, default=None,
+        help="fixed per-candidate deadline (seconds) for pool probe "
+             "evaluations; default derives it adaptively from the "
+             "pinned-batch count times a measured per-batch EMA.  "
+             "Trajectory-invariant (fingerprint-excluded): a timed-out "
+             "candidate is re-evaluated serially with identical loss",
     )
     p_run.add_argument(
         "--no-qweight-cache", action="store_true",

@@ -165,6 +165,22 @@ class CCQConfig:
     # moved — exact, trajectory-invariant, and excluded from the
     # fingerprint like the two knobs above.
     qweight_cache: bool = True
+    # Fixed per-candidate pool deadline in seconds (``--probe-timeout``).
+    # None (the default) derives the deadline adaptively from the
+    # pinned-batch count times a measured per-batch EMA — see
+    # repro.parallel.supervisor.  Where a loss is computed never changes
+    # which loss the competition observes, so like the other pool knobs
+    # this is trajectory-invariant and NOT part of the resume
+    # fingerprint.
+    probe_timeout: Optional[float] = None
+    # Total worker respawns allowed before the pool is declared beyond
+    # saving and the run degrades to serial probing.  Fingerprint-
+    # excluded (supervision is invisible to the trajectory).
+    pool_respawn_budget: int = 8
+    # After degrading to serial, retry the pool once this many clean
+    # steps have passed (0 disables re-promotion — degraded stays
+    # degraded, the pre-supervision behaviour).  Fingerprint-excluded.
+    pool_repromote_after: int = 4
     # -- resilience ------------------------------------------------------
     # Directory for the run journal + atomic checkpoints (None disables
     # both; the run is then neither resumable nor crash-safe).
@@ -326,6 +342,24 @@ class CCQQuantizer:
         # losses, same trajectory.
         self._pool: Optional[Any] = None
         self._pool_failed = False
+        # Serial steps since the pool degraded; once it reaches
+        # pool_repromote_after the pool gets another chance.
+        self._pool_clean_steps = 0
+        # The supervision layer (deadlines, respawn, salvage,
+        # quarantine) lives for the whole run so its EMA, quarantine
+        # set and respawn budget span pool generations.
+        self._supervisor: Optional[Any] = None
+        if (
+            self.config.probe_timeout is not None
+            and self.config.probe_timeout <= 0
+        ):
+            raise ValueError(
+                f"probe_timeout must be positive, "
+                f"got {self.config.probe_timeout}"
+            )
+        # Cooperative interruption (SIGTERM/SIGINT): the run finishes
+        # the step in flight, checkpoints, journals and returns.
+        self._stop_requested = False
         # Frozen-layer quantized-weight cache: enabled for the whole
         # run, scoped per stage (off while collaboration trains, reset
         # whenever the weights may have moved).
@@ -379,6 +413,9 @@ class CCQQuantizer:
                 "ccq.probe_cache_hits", "ccq.probe_cache_misses",
                 "ccq.qweight_cache_hits", "ccq.qweight_cache_misses",
                 "ccq.probe_pool_evals", "ccq.probe_pool_fallbacks",
+                "ccq.pool_respawns", "ccq.pool_salvaged_results",
+                "ccq.pool_repromotions", "ccq.quarantined_candidates",
+                "ccq.checkpoint_integrity_failures",
             ):
                 self.telemetry.counter(counter_name)
 
@@ -588,6 +625,7 @@ class CCQQuantizer:
                 self.model,
                 self.config.probe_workers,
                 self.config.quantize_activations,
+                telemetry=self.telemetry,
             )
         except Exception as err:
             # Graceful degradation (sandboxed CI, fork unavailable,
@@ -608,6 +646,23 @@ class CCQQuantizer:
         )
         return self._pool
 
+    def _ensure_supervisor(self) -> Any:
+        """The run-scoped supervision layer, created on first use."""
+        if self._supervisor is None:
+            from ..parallel.supervisor import (
+                PoolSupervisor,
+                SupervisionConfig,
+            )
+
+            self._supervisor = PoolSupervisor(
+                SupervisionConfig(
+                    probe_timeout=self.config.probe_timeout,
+                    respawn_budget=self.config.pool_respawn_budget,
+                ),
+                telemetry=self.telemetry,
+            )
+        return self._supervisor
+
     def _close_pool(self) -> None:
         if self._pool is None:
             return
@@ -615,6 +670,18 @@ class CCQQuantizer:
             self._pool.close()
         finally:
             self._pool = None
+
+    def _degrade_pool(self, step: int, reason: str) -> None:
+        """Drop to serial probing (re-promotion may retry later)."""
+        self._pool_failed = True
+        self._pool_clean_steps = 0
+        self._close_pool()
+        self.telemetry.counter("ccq.probe_pool_fallbacks").inc()
+        self.telemetry.logger.warning(
+            "probe pool degraded; falling back to serial probes",
+            step=step, reason=reason,
+            repromote_after=self.config.pool_repromote_after,
+        )
 
     def _fan_out_probes(self, step: int) -> None:
         """Evaluate the step's likely candidates on the pool, ahead of
@@ -637,8 +704,29 @@ class CCQQuantizer:
         (counted in ``probe_forward_passes``, invisible everywhere
         else).
         """
-        if self.config.probe_workers <= 0 or self._pool_failed:
+        if self.config.probe_workers <= 0:
             return
+        if self._pool_failed:
+            # Re-promotion: after enough clean serial steps the pool
+            # deserves another chance (transient faults — an OOM kill,
+            # a node hiccup — should not demote a long run forever).
+            self._pool_clean_steps += 1
+            if (
+                self.config.pool_repromote_after <= 0
+                or self._pool_clean_steps
+                < self.config.pool_repromote_after
+            ):
+                return
+            self._pool_failed = False
+            self._pool_clean_steps = 0
+            if self._supervisor is not None:
+                self._supervisor.reset_budget()
+            self.telemetry.counter("ccq.pool_repromotions").inc()
+            self.telemetry.logger.info(
+                "re-promoting probe pool after serial cooldown",
+                step=step,
+                cooldown_steps=self.config.pool_repromote_after,
+            )
         candidates = [
             (i, self._next_bits(i))
             for i in range(len(self.experts))
@@ -658,35 +746,55 @@ class CCQQuantizer:
         if pool is None:
             return
         telemetry = self.telemetry
+        supervisor = self._ensure_supervisor()
+        tasks = [
+            (
+                (index, bits),
+                [self.layers[m][0]
+                 for m in self.experts[index][1]],
+                bits,
+            )
+            for index, bits in candidates
+        ]
         try:
             with telemetry.span(
                 "probe_fanout", step=step, candidates=len(candidates)
             ):
-                pool.broadcast(
+                report = supervisor.run_round(
+                    pool,
                     named_state_arrays(self.model),
                     get_bit_config(self.model),
                     self.probe_engine.pinned.batches,
+                    tasks,
                 )
-                tasks = [
-                    (
-                        (index, bits),
-                        [self.layers[m][0]
-                         for m in self.experts[index][1]],
-                        bits,
-                    )
-                    for index, bits in candidates
-                ]
-                raw_outcomes = pool.evaluate_candidates(tasks)
         except Exception as err:
-            self._pool_failed = True
-            self._close_pool()
-            telemetry.counter("ccq.probe_pool_fallbacks").inc()
-            telemetry.logger.warning(
-                "probe pool failed mid-run; falling back to serial "
-                "probes",
-                step=step, error=str(err),
-            )
+            # Unhealable (broadcast kept failing, supervisor machinery
+            # fault, or a non-conforming pool double): degrade.
+            self._degrade_pool(step, str(err))
             return
+        raw_outcomes = report.outcomes
+        if report.respawned:
+            telemetry.counter("ccq.pool_respawns").inc(report.respawned)
+        if report.salvaged:
+            telemetry.counter("ccq.pool_salvaged_results").inc(
+                report.salvaged
+            )
+        if report.quarantined:
+            telemetry.counter("ccq.quarantined_candidates").inc(
+                len(report.quarantined)
+            )
+        for fault in report.faults:
+            telemetry.logger.warning(
+                "probe pool fault absorbed", step=step, fault=fault,
+            )
+        if report.missing:
+            # Salvage contract: unprefetched candidates simply evaluate
+            # serially inside the Hedge loop — identical losses, so the
+            # trajectory cannot tell.
+            telemetry.logger.info(
+                "missing probe results will evaluate serially",
+                step=step, missing=len(report.missing),
+            )
         outcomes: Dict[Any, ProbeOutcome] = {}
         for key, raw in raw_outcomes.items():
             ok = raw["status"] == "ok"
@@ -712,6 +820,8 @@ class CCQQuantizer:
                     )
         telemetry.counter("ccq.probe_pool_evals").inc(len(outcomes))
         self.probe_engine.prefetch(outcomes)
+        if report.degraded:
+            self._degrade_pool(step, "respawn budget exhausted")
 
     # -- quantized-weight cache scoping -----------------------------------------
 
@@ -857,6 +967,18 @@ class CCQQuantizer:
         """Load the latest checkpoint and rewind every RNG to match."""
         assert self.store is not None
         state = self.store.load(self.model, self.optimizer)
+        for warning in self.store.load_warnings:
+            # A snapshot failed integrity verification and the store
+            # rolled back to its predecessor: re-running the lost step
+            # is cheap, silently trusting corrupt bytes is not.
+            self.telemetry.counter(
+                "ccq.checkpoint_integrity_failures"
+            ).inc()
+            self.telemetry.logger.warning(
+                "checkpoint failed integrity check; rolled back to "
+                "predecessor",
+                detail=warning,
+            )
         saved_fp = state.get("fingerprint", {})
         current_fp = self._fingerprint()
         if saved_fp != current_fp:
@@ -1191,6 +1313,21 @@ class CCQQuantizer:
             self.telemetry, step=step
         )
 
+    def request_stop(self) -> None:
+        """Ask the run to wind down at the next step boundary.
+
+        Safe to call from a signal handler: it only sets a flag.  The
+        loop finishes the step in flight (checkpointing it as usual),
+        journals an ``interrupted`` event, runs the final evaluation
+        and returns a complete :class:`CCQResult` — so a SIGTERM'd run
+        leaves exactly the same artifacts as a finished one.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
+
     def run(self, resume: bool = False) -> CCQResult:
         """Execute Algorithm 1 end to end and return the full trace.
 
@@ -1249,6 +1386,17 @@ class CCQQuantizer:
 
         records = self._records
         while True:
+            if self._stop_requested:
+                telemetry.event("interrupted", step=self._step)
+                telemetry.logger.warning(
+                    "stop requested; winding down after checkpoint",
+                    step=self._step,
+                )
+                if self.store is not None:
+                    self.store.journal.append(
+                        "interrupted", step=self._step
+                    )
+                break
             awake = self._awake_mask()
             if not any(awake):
                 break

@@ -39,8 +39,10 @@ from ..nn.modules import Module
 from ..nn.serialization import (
     CheckpointError,
     atomic_savez,
+    digest_path,
     load_checkpoint,
     save_checkpoint,
+    verify_archive,
 )
 from .collaboration import RecoveryReport
 from .competition import CompetitionResult
@@ -342,29 +344,60 @@ class RunStateStore:
         <directory>/
             journal.jsonl        append-only event log
             state.json           the commit point (JSON search state)
+            state.prev.json      the superseded snapshot (rollback target)
             model-<seq>.npz      model params + bit config at that save
+            model-<seq>.npz.sha256   integrity sidecar
             optim-<seq>.npz      optimizer slot state at that save
+            optim-<seq>.npz.sha256   integrity sidecar
 
-    ``state.json`` names the archives belonging to it, and is replaced
-    atomically *after* they are fully written; superseded archives are
-    pruned afterwards.  Loading therefore always sees a consistent
-    (state, model, optimizer) triple.
+    ``state.json`` names the archives belonging to it, carries a
+    self-digest, and is replaced atomically *after* the archives (and
+    their sha256 sidecars) are fully written; the previous snapshot is
+    rotated to ``state.prev.json`` first and its archives are kept, so
+    corruption of the newest snapshot — detected by digest
+    verification at load — rolls back one generation instead of
+    killing the resume.  Archives older than the two retained
+    generations are pruned.
     """
 
     STATE_FILE = "state.json"
+    PREV_STATE_FILE = "state.prev.json"
     JOURNAL_FILE = "journal.jsonl"
+    # The self-digest key inside state.json: sha256 of the canonical
+    # JSON of the payload *without* this key.
+    STATE_DIGEST_KEY = "state_sha256"
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.journal = RunJournal(self.directory / self.JOURNAL_FILE)
+        # Human-readable descriptions of integrity failures the last
+        # load() survived by rolling back — the caller surfaces them.
+        self.load_warnings: List[str] = []
 
     @property
     def state_path(self) -> Path:
         return self.directory / self.STATE_FILE
 
+    @property
+    def prev_state_path(self) -> Path:
+        return self.directory / self.PREV_STATE_FILE
+
     def has_checkpoint(self) -> bool:
-        return self.state_path.exists()
+        return self.state_path.exists() or self.prev_state_path.exists()
+
+    @staticmethod
+    def _payload_digest(payload: Dict[str, Any]) -> str:
+        import hashlib
+
+        canonical = json.dumps(
+            {
+                k: v for k, v in payload.items()
+                if k != RunStateStore.STATE_DIGEST_KEY
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def save(
         self,
@@ -376,7 +409,10 @@ class RunStateStore:
         """Atomically persist one complete search-state snapshot.
 
         ``state`` must be JSON-serializable; ``seq`` tags the archive
-        files (any monotonically increasing counter works).
+        files (any monotonically increasing counter works).  The
+        superseded snapshot is kept as ``state.prev.json`` (plus its
+        archives) so a snapshot that later fails digest verification
+        has a good predecessor to roll back to.
         """
         model_file = f"model-{seq:06d}.npz"
         optim_file = f"optim-{seq:06d}.npz"
@@ -389,41 +425,140 @@ class RunStateStore:
         payload["model_file"] = model_file
         payload["optim_file"] = optim_file
         payload["save_seq"] = seq
+        payload[self.STATE_DIGEST_KEY] = self._payload_digest(payload)
+        # Rotate: the current snapshot becomes the rollback target.
+        # os.replace keeps every intermediate crash state loadable —
+        # at any instant there is a complete (state, archives) pair
+        # under one of the two names.
+        if self.state_path.exists():
+            os.replace(self.state_path, self.prev_state_path)
         _atomic_write_text(
             self.state_path, json.dumps(payload, indent=2)
         )
-        self._prune(keep={model_file, optim_file})
+        keep = {model_file, optim_file}
+        keep.update(self._referenced_archives(self.prev_state_path))
+        self._prune(keep=keep)
+
+    def _referenced_archives(self, state_path: Path) -> set:
+        """Archive names a state file references (best effort)."""
+        if not state_path.exists():
+            return set()
+        try:
+            with open(state_path, "r", encoding="utf-8") as f:
+                state = json.load(f)
+            return {
+                name for name in (
+                    state.get("model_file"), state.get("optim_file")
+                ) if name
+            }
+        except (json.JSONDecodeError, OSError):
+            return set()
 
     def _prune(self, keep: set) -> None:
-        for path in self.directory.glob("model-*.npz"):
-            if path.name not in keep:
-                path.unlink(missing_ok=True)
-        for path in self.directory.glob("optim-*.npz"):
-            if path.name not in keep:
-                path.unlink(missing_ok=True)
+        for pattern in ("model-*.npz", "optim-*.npz"):
+            for path in self.directory.glob(pattern):
+                if path.name not in keep:
+                    path.unlink(missing_ok=True)
+                    digest_path(path).unlink(missing_ok=True)
+
+    def _read_verified_state(self, state_path: Path) -> Dict[str, Any]:
+        """Parse + integrity-check one state file and its archives.
+
+        Raises :class:`CheckpointError` on any corruption: unparseable
+        JSON, a self-digest mismatch, a missing archive, or an archive
+        whose ``.sha256`` sidecar does not match its bytes.
+        """
+        try:
+            with open(state_path, "r", encoding="utf-8") as f:
+                state = json.load(f)
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise CheckpointError(
+                f"checkpoint state {state_path.name} is not valid "
+                f"JSON: {err}"
+            ) from err
+        recorded = state.get(self.STATE_DIGEST_KEY)
+        if recorded is not None and recorded != self._payload_digest(state):
+            raise CheckpointError(
+                f"checkpoint state {state_path.name} failed its "
+                f"self-digest check"
+            )
+        for key in ("model_file", "optim_file"):
+            name = state.get(key)
+            if not name:
+                raise CheckpointError(
+                    f"checkpoint state {state_path.name} lacks {key}"
+                )
+            archive = self.directory / name
+            if not archive.exists():
+                raise CheckpointError(
+                    f"checkpoint state {state_path.name} references "
+                    f"missing archive {name}"
+                )
+            if verify_archive(archive) is False:
+                raise CheckpointError(
+                    f"archive {name} failed sha256 digest verification"
+                )
+        return state
 
     def load(
         self, model: Module, optimizer: Optimizer
     ) -> Dict[str, Any]:
-        """Restore the latest snapshot into ``model`` and ``optimizer``
-        and return the JSON search state."""
+        """Restore the newest *intact* snapshot into ``model`` and
+        ``optimizer`` and return its JSON search state.
+
+        Every snapshot is digest-verified before a single byte reaches
+        the model: a corrupted ``state.json`` or archive makes the load
+        roll back to ``state.prev.json`` (journaled as
+        ``checkpoint_rollback`` and surfaced via ``load_warnings``)
+        instead of crashing the resume.  Only when no candidate
+        survives verification does :class:`CheckpointError` propagate.
+        """
+        self.load_warnings = []
         if not self.has_checkpoint():
             raise CheckpointError(
                 f"no checkpoint found in {self.directory} "
                 f"(missing {self.STATE_FILE})"
             )
-        with open(self.state_path, "r", encoding="utf-8") as f:
-            state = json.load(f)
-        model_path = self.directory / state["model_file"]
-        optim_path = self.directory / state["optim_file"]
-        for path in (model_path, optim_path):
-            if not path.exists():
-                raise CheckpointError(
-                    f"checkpoint state {self.state_path} references "
-                    f"missing archive {path}"
+        for state_path in (self.state_path, self.prev_state_path):
+            if not state_path.exists():
+                continue
+            try:
+                state = self._read_verified_state(state_path)
+            except CheckpointError as err:
+                self.load_warnings.append(str(err))
+                self.journal.append(
+                    "checkpoint_rollback",
+                    state_file=state_path.name, reason=str(err),
                 )
-        load_checkpoint(model, model_path)
-        with np.load(str(optim_path)) as archive:
-            arrays = {key: archive[key] for key in archive.files}
-        optimizer.load_state_dict(_unflatten_optimizer_state(arrays))
-        return state
+                continue
+            model_path = self.directory / state["model_file"]
+            optim_path = self.directory / state["optim_file"]
+            try:
+                load_checkpoint(model, model_path)
+                with np.load(str(optim_path)) as archive:
+                    arrays = {
+                        key: archive[key] for key in archive.files
+                    }
+                optimizer.load_state_dict(
+                    _unflatten_optimizer_state(arrays)
+                )
+            except CheckpointError:
+                # A real model/config mismatch — the predecessor was
+                # written by the same run, so rolling back cannot help.
+                raise
+            except Exception as err:
+                # Undetectable-by-digest corruption (legacy archive
+                # without a sidecar, torn zip): try the predecessor.
+                self.load_warnings.append(
+                    f"archive load from {state_path.name} failed: {err}"
+                )
+                self.journal.append(
+                    "checkpoint_rollback",
+                    state_file=state_path.name, reason=repr(err),
+                )
+                continue
+            return state
+        raise CheckpointError(
+            f"no loadable checkpoint in {self.directory}: "
+            + "; ".join(self.load_warnings)
+        )

@@ -8,6 +8,12 @@ next_bits)`` candidates are fanned out across the workers, and the
 losses come back bit-identical to the serial path for any worker count
 (see ``docs/parallel.md`` for the determinism contract).
 
+Mid-run faults are handled by the supervision layer
+(:class:`PoolSupervisor`): adaptive deadlines, worker respawn under a
+bounded budget, partial-result salvage and candidate quarantine — all
+trajectory-invariant, since a missing result simply evaluates serially
+inside the Hedge loop.
+
 Construction goes through :func:`create_probe_pool` so the CCQ driver
 (and tests) can swap the factory; any failure to start is a
 :class:`PoolError`, which callers treat as "run serial instead".
@@ -15,8 +21,12 @@ Construction goes through :func:`create_probe_pool` so the CCQ driver
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..telemetry import Telemetry
 from .pool import PoolError, ProbeTask, ProbeWorkerPool
 from .sharedmem import SharedArrayStore, attach_arrays, views_from
+from .supervisor import FanOutReport, PoolSupervisor, SupervisionConfig
 
 __all__ = [
     "PoolError",
@@ -26,14 +36,21 @@ __all__ = [
     "attach_arrays",
     "views_from",
     "create_probe_pool",
+    "PoolSupervisor",
+    "SupervisionConfig",
+    "FanOutReport",
 ]
 
 
 def create_probe_pool(
-    model, n_workers: int, quantize_activations: bool = True
+    model,
+    n_workers: int,
+    quantize_activations: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> ProbeWorkerPool:
     """Start a probe pool; raises :class:`PoolError` when it cannot."""
     return ProbeWorkerPool(
         model, n_workers=n_workers,
         quantize_activations=quantize_activations,
+        telemetry=telemetry,
     )

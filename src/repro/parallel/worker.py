@@ -34,7 +34,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["worker_main", "PINNED_PREFIX"]
+__all__ = ["worker_main", "PINNED_PREFIX", "FAULT_HOOK"]
 
 # Broadcast keys carrying pinned probe batches instead of model state.
 PINNED_PREFIX = "pinned."
@@ -42,6 +42,27 @@ PINNED_PREFIX = "pinned."
 # How long a worker blocks on its command queue before re-checking that
 # the parent is still alive (so an orphaned worker exits on its own).
 _POLL_S = 1.0
+
+# Test seam for chaos/fault-injection suites.  Set (in the parent,
+# before the pool forks — the child inherits it) to an object with:
+#
+# ``__call__(worker_id, task_id, layer_names, bits) -> Optional[str]``
+#     Consulted before every evaluation; may return ``"kill"`` (the
+#     worker dies with ``os._exit``), ``"hang"`` (sleeps
+#     ``hang_seconds`` — the supervisor's deadline must reap it) or
+#     ``"corrupt"`` (ships a schema-violating result).
+# ``on_start(worker_id) -> Optional[str]`` (optional)
+#     Consulted before the ready handshake; ``"kill"`` makes the
+#     spawn itself fail — the mid-respawn fault.
+# ``hang_seconds`` (optional, default 300)
+#
+# Production code never sets this; it stays None.
+FAULT_HOOK = None
+
+# Distinctive exit codes so injected deaths are recognisable in the
+# drained exit statuses.
+_EXIT_INJECTED_KILL = 170
+_EXIT_INJECTED_START_KILL = 171
 
 
 def split_broadcast(
@@ -103,6 +124,10 @@ def worker_main(
     shm = None
     shm_name: Optional[str] = None
     pinned: Optional[PinnedProbeSet] = None
+    if FAULT_HOOK is not None:
+        on_start = getattr(FAULT_HOOK, "on_start", None)
+        if on_start is not None and on_start(worker_id) == "kill":
+            os._exit(_EXIT_INJECTED_START_KILL)
     result_queue.put(("ready", worker_id))
     try:
         while True:
@@ -116,7 +141,7 @@ def worker_main(
             if kind == "stop":
                 break
             if kind == "sync":
-                _, name, manifest, bit_config = message
+                _, name, manifest, bit_config, sync_seq = message
                 if shm is not None and name != shm_name:
                     shm.close()
                     shm = None
@@ -144,13 +169,29 @@ def worker_main(
                         if hasattr(quantizer, "_initialized"):
                             quantizer._initialized = True
                 pinned = PinnedProbeSet(batches)
-                result_queue.put(("synced", worker_id))
+                result_queue.put(("synced", worker_id, sync_seq))
                 continue
             if kind == "eval":
-                _, task_id, layer_names, bits = message
+                _, gen, task_id, layer_names, bits = message
                 outcome: Dict[str, object] = {
-                    "task_id": task_id, "worker": worker_id,
+                    "task_id": task_id, "worker": worker_id, "gen": gen,
                 }
+                if FAULT_HOOK is not None:
+                    action = FAULT_HOOK(
+                        worker_id, task_id, layer_names, bits
+                    )
+                    if action == "kill":
+                        os._exit(_EXIT_INJECTED_KILL)
+                    if action == "hang":
+                        time.sleep(
+                            getattr(FAULT_HOOK, "hang_seconds", 300.0)
+                        )
+                    elif action == "corrupt":
+                        outcome["status"] = "ok"
+                        outcome["loss"] = None  # schema violation
+                        outcome["elapsed"] = 0.0
+                        result_queue.put(("result", outcome))
+                        continue
                 t0 = time.perf_counter()
                 try:
                     if pinned is None:

@@ -234,7 +234,13 @@ def format_report(run: RunTelemetry) -> str:
     resilience = [
         c for c in counters
         if c["name"].startswith(("ccq.divergence", "ccq.retry", "ccq.skip",
-                                 "ccq.probe_divergence", "ccq.recovery"))
+                                 "ccq.probe_divergence", "ccq.recovery",
+                                 "ccq.pool_respawns",
+                                 "ccq.pool_salvaged_results",
+                                 "ccq.pool_repromotions",
+                                 "ccq.quarantined_candidates",
+                                 "ccq.checkpoint_integrity_failures",
+                                 "ccq.probe_pool_fallbacks"))
     ]
     if resilience:
         lines.append("resilience counters")

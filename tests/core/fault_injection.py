@@ -14,6 +14,12 @@ precisely chosen point:
   fault-free prefix of the trajectory is bit-identical to the reference.
 * :class:`FaultyModule` — wraps a ``Module`` and corrupts (or raises
   from) its forward pass at a chosen call index.
+* :class:`WorkerFaultInjector` — the chaos hook for the *parallel probe
+  pool*: installed as ``repro.parallel.worker.FAULT_HOOK`` before the
+  pool forks, it makes chosen (or random) worker evaluations **kill**
+  the worker process, **hang** it past the supervisor's deadline, or
+  ship a **corrupt** (schema-violating) result — plus kills that land
+  at worker *startup*, i.e. mid-respawn.
 
 All wrappers delegate unknown attributes to the wrapped object, so code
 that pokes at ``loader._rng`` or ``module.training`` keeps working.
@@ -21,8 +27,10 @@ that pokes at ``loader._rng`` or ``module.training`` keeps working.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +41,7 @@ __all__ = [
     "SimulatedKill",
     "FaultyLoader",
     "FaultyModule",
+    "WorkerFaultInjector",
 ]
 
 
@@ -170,3 +179,119 @@ class FaultyModule(Module):
         if fire and self.mode == "nan":
             out.data = np.full_like(out.data, np.nan)
         return out
+
+
+Trigger = Tuple[int, int]
+
+
+class WorkerFaultInjector:
+    """Chaos hook for the parallel probe pool's forked workers.
+
+    Install *before* the pool is created::
+
+        import repro.parallel.worker as worker_mod
+        worker_mod.FAULT_HOOK = WorkerFaultInjector(
+            tmp_path / "faults", kill_on={(0, 0)},
+        )
+
+    Every forked worker inherits the hook.  The worker consults
+    ``on_start(worker_id)`` once before its ready handshake and
+    ``__call__(worker_id, task_id, layer_names, bits)`` before each
+    evaluation; the returned action is ``"kill"`` (``os._exit``, i.e. a
+    crash the supervisor must respawn), ``"hang"`` (sleep past the
+    supervisor's deadline), ``"corrupt"`` (ship a schema-violating
+    result) or ``None``.
+
+    Triggers fire in *child* processes, so per-object counters would
+    reset on every fork; instead each trigger latches exactly once
+    across all processes through marker files in ``state_dir``
+    (``O_CREAT | O_EXCL`` is atomic).  That latch also means a
+    respawned worker — whose per-life eval counter restarts at 0 — is
+    not re-killed by the trigger that killed its predecessor.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory for the cross-process marker files (use a tmp_path
+        subdirectory; must be shared by parent and workers).
+    kill_on / hang_on / corrupt_on:
+        Sets of ``(worker_id, eval_index)`` where ``eval_index`` counts
+        evaluations within one worker process's lifetime.  Each trigger
+        fires at most once globally.
+    kill_layers:
+        Layer names that poison a candidate: *every* evaluation of a
+        task touching one of them kills the worker (no once-latch), so
+        the candidate keeps crashing respawned workers until the
+        supervisor quarantines it.
+    start_kill:
+        Set of ``(worker_id, start_index)``: kill that worker's n-th
+        process start (0 = initial fork, 1 = first respawn, ...) before
+        the ready handshake — a fault landing mid-respawn.
+    hang_seconds:
+        Sleep duration for ``"hang"`` (default far past any deadline).
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        kill_on: Iterable[Trigger] = (),
+        hang_on: Iterable[Trigger] = (),
+        corrupt_on: Iterable[Trigger] = (),
+        kill_layers: Sequence[str] = (),
+        start_kill: Iterable[Trigger] = (),
+        hang_seconds: float = 300.0,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.kill_on = set(kill_on)
+        self.hang_on = set(hang_on)
+        self.corrupt_on = set(corrupt_on)
+        self.kill_layers = tuple(kill_layers)
+        self.start_kill = set(start_kill)
+        self.hang_seconds = hang_seconds
+        self._evals = 0  # per-process eval counter (resets on fork/exec)
+
+    def _latch(self, tag: str) -> bool:
+        """Claim ``tag`` exactly once across all processes."""
+        try:
+            fd = os.open(
+                self.state_dir / tag, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _start_index(self, worker_id: int) -> int:
+        """Claim and return this process's start ordinal for the worker."""
+        n = 0
+        while not self._latch(f"start-{worker_id}-{n}"):
+            n += 1
+        return n
+
+    def on_start(self, worker_id: int) -> Optional[str]:
+        if (worker_id, self._start_index(worker_id)) in self.start_kill:
+            return "kill"
+        return None
+
+    def __call__(
+        self,
+        worker_id: int,
+        task_id: int,
+        layer_names: Sequence[str],
+        bits: Sequence[int],
+    ) -> Optional[str]:
+        index = self._evals
+        self._evals += 1
+        if any(name in self.kill_layers for name in layer_names):
+            return "kill"
+        key = (worker_id, index)
+        if key in self.kill_on and self._latch(f"kill-{worker_id}-{index}"):
+            return "kill"
+        if key in self.hang_on and self._latch(f"hang-{worker_id}-{index}"):
+            return "hang"
+        if key in self.corrupt_on and self._latch(
+            f"corrupt-{worker_id}-{index}"
+        ):
+            return "corrupt"
+        return None

@@ -220,8 +220,9 @@ class TestConfigSurface:
 
     def test_parallel_knobs_absent_from_fingerprint(self, run_factory,
                                                     tmp_path):
-        """probe_workers / qweight_cache are trajectory-invariant, so
-        flipping them must not invalidate a checkpoint."""
+        """probe_workers / qweight_cache / the supervision knobs are
+        trajectory-invariant, so flipping them must not invalidate a
+        checkpoint."""
         ckpt = tmp_path / "ckpt"
         net, train, val = run_factory()
         CCQQuantizer(
@@ -232,7 +233,10 @@ class TestConfigSurface:
         flipped = CCQQuantizer(
             net, train, val,
             config=make_config(ckpt, probe_workers=2,
-                               qweight_cache=False),
+                               qweight_cache=False,
+                               probe_timeout=42.0,
+                               pool_respawn_budget=3,
+                               pool_repromote_after=9),
         )
         result = flipped.run(resume=True)
         assert [r.step for r in result.records] == list(range(8))

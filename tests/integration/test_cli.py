@@ -77,6 +77,71 @@ class TestRunCCQ:
         printed = capsys.readouterr().out
         assert "block granularity" in printed
 
+    def test_probe_timeout_flag_reaches_the_config(self, capsys):
+        code = main([
+            "run-ccq",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--max-steps", "2",
+            "--probes", "2",
+            "--probe-timeout", "45.5",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestSignalGuard:
+    """The graceful SIGTERM/SIGINT path around ``run-ccq``."""
+
+    class _FakeQuantizer:
+        def __init__(self):
+            self.stop_requests = 0
+
+        def request_stop(self):
+            self.stop_requests += 1
+
+    class _FakeLog:
+        def __init__(self):
+            self.warnings = []
+
+        def warning(self, msg, **fields):
+            self.warnings.append((msg, fields))
+
+    def test_first_signal_requests_stop_second_aborts(self):
+        import signal as signal_module
+
+        from repro.cli import _SignalGuard
+
+        quantizer = self._FakeQuantizer()
+        log = self._FakeLog()
+        guard = _SignalGuard(quantizer, log)
+
+        guard.handle(signal_module.SIGTERM, None)
+        assert quantizer.stop_requests == 1
+        assert guard.signum == signal_module.SIGTERM
+        assert log.warnings  # the operator was told what happens next
+
+        import pytest
+
+        with pytest.raises(KeyboardInterrupt):
+            guard.handle(signal_module.SIGTERM, None)
+
+    def test_handlers_installed_and_restored(self):
+        import signal as signal_module
+
+        from repro.cli import _SignalGuard
+
+        previous = {
+            s: signal_module.getsignal(s)
+            for s in _SignalGuard.SIGNALS
+        }
+        guard = _SignalGuard(self._FakeQuantizer(), self._FakeLog())
+        with guard:
+            for s in _SignalGuard.SIGNALS:
+                assert signal_module.getsignal(s) == guard.handle
+        for s, handler in previous.items():
+            assert signal_module.getsignal(s) == handler
+
 
 class TestTelemetryCLI:
     """--telemetry-dir + report-run end-to-end (PR 2 tentpole)."""

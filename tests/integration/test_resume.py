@@ -153,3 +153,58 @@ class TestKillAndResume:
         result = ccq.run(resume=True)
         assert len(result.records) == 2
         assert ccq.store.journal.events("run_start")
+
+
+class TestCorruptedCheckpointRollback:
+    def test_flipped_byte_rolls_back_and_reproduces_reference(
+        self, run_factory, tmp_path
+    ):
+        """Regression: a corrupted newest checkpoint must not kill the
+        resume — digest verification rejects it, the predecessor loads,
+        and the deterministic re-run of the lost step reproduces the
+        uninterrupted reference bit for bit."""
+        from repro.telemetry import Telemetry
+
+        ckpt = tmp_path / "ckpt"
+
+        net, train, val = run_factory()
+        reference = CCQQuantizer(net, train, val, config=make_config()).run()
+
+        net, train, val = run_factory()
+        CCQQuantizer(
+            net, train, val, config=make_config(ckpt, max_steps=3)
+        ).run()
+
+        # Bit rot: flip one byte in the newest model archive.
+        import json as json_module
+
+        state = json_module.loads((ckpt / "state.json").read_text())
+        archive = ckpt / state["model_file"]
+        data = bytearray(archive.read_bytes())
+        data[200] ^= 0xFF
+        archive.write_bytes(bytes(data))
+
+        net, train, val = run_factory()
+        telemetry = Telemetry.create(log_level="silent")
+        resumed = CCQQuantizer(
+            net, train, val, config=make_config(ckpt),
+            telemetry=telemetry,
+        )
+        result = resumed.run(resume=True)
+        telemetry.close()
+
+        # The corruption was detected, counted, and journaled ...
+        failures = [
+            entry["value"]
+            for entry in telemetry.registry.snapshot()["counters"]
+            if entry["name"] == "ccq.checkpoint_integrity_failures"
+        ]
+        assert failures and failures[0] >= 1
+        assert resumed.store.journal.events("checkpoint_rollback")
+        # ... and the run resumed from the predecessor all the way to
+        # the reference trajectory.
+        assert step_log(result) == step_log(reference)
+        assert result.bit_config == reference.bit_config
+        assert result.final_eval.accuracy == reference.final_eval.accuracy
+        assert result.final_eval.loss == reference.final_eval.loss
+        assert result.compression == reference.compression

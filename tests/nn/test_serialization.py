@@ -110,7 +110,9 @@ class TestQuantizedCheckpoint:
 class TestCrashSafety:
     def test_atomic_savez_leaves_no_temp_files(self, tmp_path):
         atomic_savez(tmp_path / "a.npz", x=np.arange(3))
-        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+        # Archive plus its integrity sidecar — and nothing else (no
+        # lingering *.tmp from the atomic-rename dance).
+        assert sorted(os.listdir(tmp_path)) == ["a.npz", "a.npz.sha256"]
         with np.load(tmp_path / "a.npz") as archive:
             np.testing.assert_array_equal(archive["x"], np.arange(3))
 
@@ -131,8 +133,8 @@ class TestCrashSafety:
 
         with pytest.raises(Exception):
             atomic_savez(path, x=np.array(Unsavable(), dtype=object))
-        # The old file is intact and no temp files linger.
-        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+        # The old file (and its sidecar) is intact; no temp files linger.
+        assert sorted(os.listdir(tmp_path)) == ["a.npz", "a.npz.sha256"]
         with np.load(path) as archive:
             np.testing.assert_array_equal(archive["x"], np.arange(4))
 
@@ -140,7 +142,7 @@ class TestCrashSafety:
         net = models.MLP(4, [4], 2, rng=np.random.default_rng(0))
         save_checkpoint(net, tmp_path / "m.npz")
         save_checkpoint(net, tmp_path / "m.npz")  # overwrite in place
-        assert sorted(os.listdir(tmp_path)) == ["m.npz"]
+        assert sorted(os.listdir(tmp_path)) == ["m.npz", "m.npz.sha256"]
 
 
 class TestCheckpointErrors:
