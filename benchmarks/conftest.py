@@ -94,6 +94,49 @@ class BenchRecorder:
         path = RESULTS_DIR / f"{name}.json"
         with open(path, "w") as f:
             json.dump(payload, f, indent=2, default=float)
+        self._append_trajectory(name, runtime, handle)
+
+    def _append_trajectory(self, name, runtime, handle) -> None:
+        """Fold this benchmark into the consolidated
+        ``BENCH_trajectory.json``: one entry per benchmark with its
+        wall-clock and key telemetry, so one file answers "what did the
+        whole suite cost and where did the time go"."""
+        entry = {
+            "recorded_at": time.time(),
+            "wall_clock_seconds": runtime["wall_clock_seconds"],
+        }
+        if handle is not None:
+            snapshot = handle.registry.snapshot()
+            entry["counters"] = {
+                c["name"]: c["value"]
+                for c in snapshot.get("counters", [])
+                if not c.get("labels")
+            }
+            entry["histograms"] = {
+                h["name"]: {
+                    k: h.get(k) for k in ("count", "p50", "p90", "p99")
+                }
+                for h in snapshot.get("histograms", [])
+                if not h.get("labels")
+            }
+            if handle.directory is not None:
+                entry["telemetry_dir"] = str(handle.directory)
+        path = RESULTS_DIR / "BENCH_trajectory.json"
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                trajectory = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            trajectory = {}
+        if not isinstance(trajectory, dict):
+            trajectory = {}
+        trajectory.setdefault("format", "bench-trajectory-v1")
+        trajectory.setdefault("benches", {})
+        trajectory["benches"][name] = entry
+        trajectory["updated_at"] = time.time()
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(trajectory, f, indent=2, default=float)
+        tmp.replace(path)
 
     def close(self) -> None:
         for handle in self._telemetry.values():

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Prove the parallel observability surface end to end through the CLI:
+#
+#   1. a micro-scale 2-worker CCQ run with --telemetry-dir
+#   2. assert per-worker event/metrics files exist, merge cleanly
+#      (exact post-merge histograms, worker labels), and that every
+#      worker evaluation stitches to a parent fan-out span
+#   3. assert exclusive stage coverage >= 90% — including the
+#      probe_fanout window that holds the in-worker compute — and that
+#      report-run renders the worker-lane section
+#   4. smoke-test `repro watch` (snapshot + replayed terminal state)
+#      and `repro profile` (conv/GEMM hot-path rows present)
+#
+# Finishes in well under a minute on one CPU.
+#
+#   bash scripts/verify_observability.sh [workdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+echo "== 1/4 instrumented 2-worker micro-scale CCQ run =="
+python3 -m repro.cli run-ccq --task resnet20_cifar10 --scale micro \
+    --probes 2 --max-steps 3 --seed 0 --no-progress --probe-workers 2 \
+    --checkpoint-dir "$WORK/ckpt" --telemetry-dir "$WORK/telem" \
+    --output "$WORK/summary.json"
+
+echo "== 2/4 verify worker telemetry merges cleanly =="
+python3 - "$WORK/telem" "$WORK/summary.json" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry import (
+    assemble_traces,
+    load_aggregated_run,
+    merge_worker_metrics,
+    pool_summary,
+    worker_lanes,
+)
+
+directory = Path(sys.argv[1])
+agg = load_aggregated_run(directory)
+assert agg.n_workers == 2, f"expected 2 worker files, got {agg.n_workers}"
+
+lanes = worker_lanes(agg)
+assert set(lanes) == {0, 1}
+assert all(lane.evals > 0 for lane in lanes.values()), \
+    "a worker recorded no evaluations"
+assert all(lane.busy_s > 0 for lane in lanes.values())
+
+traces = assemble_traces(agg)
+assert traces, "no probe_fanout spans in the parent stream"
+joined = sum(len(t["children"]) for t in traces)
+total = sum(lane.evals for lane in lanes.values())
+assert joined == total, \
+    f"only {joined}/{total} worker evals stitched to a fan-out round"
+
+merged = merge_worker_metrics(directory)
+names = {name for name, _, _, _ in merged.series()}
+assert {"worker.evals", "worker.eval_s"} <= names, sorted(names)
+workers_seen = {
+    labels.get("worker")
+    for name, _, labels, _ in merged.series() if name == "worker.evals"
+}
+assert workers_seen == {"0", "1"}, workers_seen
+
+summary = pool_summary(agg)
+assert summary["fanout_rounds"] > 0
+assert 0.0 < summary["utilization"] <= 1.0, summary
+
+# The run-ccq --output JSON surfaces the fan-out totals.
+payload = json.loads(Path(sys.argv[2]).read_text())
+fanout = payload.get("fanout")
+assert fanout and fanout["rounds"] > 0, payload.keys()
+assert fanout["attempted"] >= fanout["completed"] > 0
+
+print(f"OK: {total} worker evals across 2 lanes, "
+      f"{summary['utilization']:.0%} pool utilization, "
+      f"{fanout['rounds']} fan-out rounds reported")
+EOF
+
+echo "== 3/4 verify stage coverage and the worker-lane report =="
+python3 - "$WORK/telem" <<'EOF'
+import sys
+
+from repro.telemetry import format_report, load_run, stage_breakdown
+
+run = load_run(sys.argv[1])
+breakdown = stage_breakdown(run)
+coverage = breakdown["coverage"]
+assert coverage >= 0.9, f"stage coverage {coverage:.1%} < 90%"
+assert "probe_fanout" in breakdown["stages"], \
+    "probe_fanout missing from the stage table"
+
+report = format_report(run)
+assert "worker lanes (2 workers)" in report, report[-2000:]
+assert "pool utilization" in report
+assert "fan-out overhead" in report
+print(f"OK: stage coverage {coverage:.1%}, worker lanes rendered")
+EOF
+python3 -m repro.cli report-run "$WORK/telem" | grep -q "worker lanes"
+
+echo "== 4/4 watch + profile smoke tests =="
+python3 -m repro.cli watch "$WORK/telem" --once | tee "$WORK/watch.txt"
+grep -q "status: complete" "$WORK/watch.txt"
+grep -q "bits:" "$WORK/watch.txt"
+python3 -m repro.cli profile --task resnet20_cifar10 --scale micro \
+    --batch-size 8 --repeats 2 --json "$WORK/profile.json" \
+    | tee "$WORK/profile.txt"
+grep -q "conv2d" "$WORK/profile.txt"
+grep -q "matmul" "$WORK/profile.txt"
+python3 - "$WORK/profile.json" <<'EOF'
+import json
+import sys
+
+payload = json.loads(open(sys.argv[1]).read())
+ops = {op["name"]: op for op in payload["ops"]}
+conv = next(op for name, op in ops.items() if name.startswith("conv2d"))
+assert conv["flops"] > 0 and conv["calls"] > 0
+assert payload["total_s"] > 0
+print(f"OK: profiled {len(ops)} op kinds, "
+      f"conv at {conv['flops'] / 1e6:.1f} MFLOP/pass-set")
+EOF
+
+echo "OK: observability surface verified (lanes, coverage, watch, profile)"

@@ -14,6 +14,19 @@ Commands
     wall-clock breakdown and an accuracy/compression trajectory table
     (optionally an SVG chart).
 
+``profile``
+    Run the deterministic op-level profiler over forward (optionally
+    forward+backward) passes of a task model and print per-op
+    wall-clock, call counts, FLOPs and bytes-moved estimates plus the
+    im2col scratch-arena high-water mark.
+
+``watch``
+    Live-monitor an in-progress ``run-ccq --telemetry-dir`` run by
+    tailing its ``events.jsonl``/``metrics.json``: current step, stage,
+    accuracy/compression, bit map, expert weights and pool-health
+    counters, refreshed in place.  ``--serve PORT`` additionally
+    exposes the snapshot over HTTP in Prometheus text format.
+
 ``policies``
     List the registered quantization policies (plain stdout, one per
     line, for scripting).
@@ -244,6 +257,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 "qweight_cache_hits": result.qweight_cache_hits,
                 "qweight_cache_misses": result.qweight_cache_misses,
             }
+            if result.fanout_stats:
+                payload["fanout"] = result.fanout_stats
             if telemetry.directory is not None:
                 payload["telemetry_dir"] = str(telemetry.directory)
             with open(args.output, "w") as f:
@@ -280,6 +295,86 @@ def _cmd_report_run(args: argparse.Namespace) -> int:
         else:
             print("no completed steps to plot; skipped SVG",
                   file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .telemetry.profiler import profile_model
+
+    task = build_task(args.task, scale=args.scale)
+    model = task.make_model()
+    if args.policy:
+        from .quantization import quantize_model
+
+        quantize_model(model, args.policy)
+    _, val = task.loaders()
+    images, labels = next(iter(val))
+    if args.batch_size:
+        images = images[: args.batch_size]
+        labels = labels[: args.batch_size]
+    profiler = profile_model(
+        model,
+        np.asarray(images),
+        labels=np.asarray(labels),
+        train=args.train,
+        repeats=args.repeats,
+        warmup=args.warmup,
+    )
+    if args.json:
+        payload = profiler.summary()
+        payload["task"] = task.name
+        payload["scale"] = args.scale
+        payload["batch"] = int(images.shape[0])
+        payload["train"] = bool(args.train)
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+    # The table is the data output — plain stdout, like report-run.
+    mode = "train (fwd+bwd)" if args.train else "inference"
+    print(
+        f"profile: {task.name} scale={args.scale} "
+        f"batch={images.shape[0]} mode={mode} repeats={args.repeats}"
+    )
+    print(profiler.format_table())
+    if args.json:
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .telemetry.monitor import serve_metrics, watch
+
+    server = None
+    if args.serve is not None:
+        import threading
+
+        try:
+            server = serve_metrics(
+                args.directory, port=args.serve, host=args.host
+            )
+        except OSError as err:
+            print(f"error: cannot bind {args.host}:{args.serve}: {err}",
+                  file=sys.stderr)
+            return 2
+        host, port = server.server_address[:2]
+        print(f"serving metrics on http://{host}:{port}/metrics "
+              f"(state: /state)", file=sys.stderr)
+        threading.Thread(
+            target=server.serve_forever, daemon=True
+        ).start()
+    try:
+        watch(
+            args.directory,
+            interval_s=args.interval,
+            once=args.once,
+            follow_until_complete=args.until_complete,
+            max_seconds=args.max_seconds,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
     return 0
 
 
@@ -385,6 +480,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the accuracy/compression trajectory chart here",
     )
     p_rep.set_defaults(func=_cmd_report_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="op-level profile of a task model's forward passes",
+    )
+    p_prof.add_argument("--task", choices=TASK_NAMES,
+                        default="resnet20_cifar10")
+    p_prof.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    p_prof.add_argument(
+        "--policy", default=None,
+        help="quantize the model with this policy before profiling "
+             "(default: profile the float model)",
+    )
+    p_prof.add_argument(
+        "--batch-size", type=int, default=None,
+        help="truncate the profiled batch to this many samples "
+             "(default: one full validation batch)",
+    )
+    p_prof.add_argument(
+        "--train", action="store_true",
+        help="profile grad-mode forward + cross-entropy backward "
+             "instead of the no-grad inference path",
+    )
+    p_prof.add_argument("--repeats", type=int, default=3,
+                        help="measured passes (default: 3)")
+    p_prof.add_argument(
+        "--warmup", type=int, default=1,
+        help="un-measured warmup passes so one-time scratch "
+             "allocation does not skew the numbers (default: 1)",
+    )
+    p_prof.add_argument("--json", help="also write the summary JSON here")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live-monitor an in-progress run's telemetry directory",
+    )
+    p_watch.add_argument(
+        "directory",
+        help="the --telemetry-dir of a running (or finished) run-ccq",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh interval in seconds (default: 1.0)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (for scripts)",
+    )
+    p_watch.add_argument(
+        "--until-complete", action="store_true",
+        help="exit automatically when the run completes or is "
+             "interrupted",
+    )
+    p_watch.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop watching after this many seconds regardless",
+    )
+    p_watch.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="also serve the snapshot over HTTP: /metrics in "
+             "Prometheus text format, /state as JSON (0 picks a free "
+             "port)",
+    )
+    p_watch.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --serve (default: loopback only)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_pol = sub.add_parser("policies", help="list quantization policies")
     p_pol.set_defaults(func=_cmd_policies)

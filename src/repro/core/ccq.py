@@ -231,6 +231,12 @@ class CCQResult:
     # parent-side forwards; worker-side replicas are not aggregated).
     qweight_cache_hits: int = 0
     qweight_cache_misses: int = 0
+    # Aggregated parallel fan-out accounting across the run (empty when
+    # the run never fanned out): rounds/attempted/completed plus the
+    # salvage/requeue/respawn/quarantine totals from each round's
+    # FanOutReport and the final deadline EMA.  Observability only —
+    # never consulted by the search.
+    fanout_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def probe_rounds(self) -> int:
@@ -414,10 +420,18 @@ class CCQQuantizer:
                 "ccq.qweight_cache_hits", "ccq.qweight_cache_misses",
                 "ccq.probe_pool_evals", "ccq.probe_pool_fallbacks",
                 "ccq.pool_respawns", "ccq.pool_salvaged_results",
-                "ccq.pool_repromotions", "ccq.quarantined_candidates",
+                "ccq.pool_requeued", "ccq.pool_repromotions",
+                "ccq.quarantined_candidates",
                 "ccq.checkpoint_integrity_failures",
             ):
                 self.telemetry.counter(counter_name)
+        # Running totals of the per-round FanOutReports, surfaced in
+        # CCQResult.fanout_stats and the run-ccq results JSON.
+        self._fanout_totals: Dict[str, int] = {
+            "rounds": 0, "attempted": 0, "completed": 0, "salvaged": 0,
+            "requeued": 0, "respawned": 0, "quarantined": 0,
+            "missing": 0, "degraded_rounds": 0,
+        }
 
     # -- expert bookkeeping -----------------------------------------------------
 
@@ -759,13 +773,22 @@ class CCQQuantizer:
         try:
             with telemetry.span(
                 "probe_fanout", step=step, candidates=len(candidates)
-            ):
+            ) as fanout_span:
+                # Cross-process trace context: workers attach their
+                # eval spans to this fan-out span by id.  Timestamps
+                # and ids only — nothing the trajectory can observe.
+                trace = {
+                    "trace_id": f"step{step}",
+                    "parent_span": getattr(fanout_span, "span_id", None),
+                    "step": step,
+                }
                 report = supervisor.run_round(
                     pool,
                     named_state_arrays(self.model),
                     get_bit_config(self.model),
                     self.probe_engine.pinned.batches,
                     tasks,
+                    trace=trace,
                 )
         except Exception as err:
             # Unhealable (broadcast kept failing, supervisor machinery
@@ -779,9 +802,41 @@ class CCQQuantizer:
             telemetry.counter("ccq.pool_salvaged_results").inc(
                 report.salvaged
             )
+        if report.requeued:
+            telemetry.counter("ccq.pool_requeued").inc(report.requeued)
         if report.quarantined:
             telemetry.counter("ccq.quarantined_candidates").inc(
                 len(report.quarantined)
+            )
+        totals = self._fanout_totals
+        totals["rounds"] += 1
+        totals["attempted"] += report.attempted
+        totals["completed"] += report.completed
+        totals["salvaged"] += report.salvaged
+        totals["requeued"] += report.requeued
+        totals["respawned"] += report.respawned
+        totals["quarantined"] += len(report.quarantined)
+        totals["missing"] += len(report.missing)
+        totals["degraded_rounds"] += 1 if report.degraded else 0
+        if telemetry.enabled:
+            telemetry.gauge("ccq.pool_deadline_s").set(report.deadline_s)
+            if supervisor.ema_batch_s is not None:
+                telemetry.gauge("ccq.pool_ema_batch_s").set(
+                    supervisor.ema_batch_s
+                )
+            telemetry.event(
+                "fanout_report",
+                step=step,
+                attempted=report.attempted,
+                completed=report.completed,
+                salvaged=report.salvaged,
+                requeued=report.requeued,
+                respawned=report.respawned,
+                quarantined=len(report.quarantined),
+                missing=len(report.missing),
+                degraded=report.degraded,
+                deadline_s=report.deadline_s,
+                ema_batch_s=supervisor.ema_batch_s,
             )
         for fault in report.faults:
             telemetry.logger.warning(
@@ -822,6 +877,18 @@ class CCQQuantizer:
         self.probe_engine.prefetch(outcomes)
         if report.degraded:
             self._degrade_pool(step, "respawn budget exhausted")
+
+    def _fanout_stats(self) -> Dict[str, Any]:
+        """Fan-out totals for CCQResult / results JSON (empty if serial)."""
+        if not self._fanout_totals["rounds"]:
+            return {}
+        stats: Dict[str, Any] = dict(self._fanout_totals)
+        if (
+            self._supervisor is not None
+            and self._supervisor.ema_batch_s is not None
+        ):
+            stats["ema_batch_s"] = self._supervisor.ema_batch_s
+        return stats
 
     # -- quantized-weight cache scoping -----------------------------------------
 
@@ -945,6 +1012,7 @@ class CCQQuantizer:
             "probe_cache_misses": self.probe_engine.cache_misses,
             "qweight_cache_hits": self._qweight_totals()[0],
             "qweight_cache_misses": self._qweight_totals()[1],
+            "fanout_totals": dict(self._fanout_totals),
             "forced_asleep": sorted(self._forced_asleep),
             "initial_eval": eval_to_json(self._initial_eval),
             "records": [record_to_json(r) for r in self._records],
@@ -1009,6 +1077,11 @@ class CCQQuantizer:
             int(state.get("qweight_cache_hits", 0)),
             int(state.get("qweight_cache_misses", 0)),
         )
+        # Pre-observability checkpoints carry no fan-out totals.
+        saved_fanout = state.get("fanout_totals")
+        if isinstance(saved_fanout, dict):
+            for key in self._fanout_totals:
+                self._fanout_totals[key] = int(saved_fanout.get(key, 0))
         self._qweight_prev = self._qweight_restored
         self._forced_asleep = set(
             int(i) for i in state.get("forced_asleep", [])
@@ -1467,4 +1540,5 @@ class CCQQuantizer:
             probe_cache_misses=self.probe_engine.cache_misses,
             qweight_cache_hits=qweight_hits,
             qweight_cache_misses=qweight_misses,
+            fanout_stats=self._fanout_stats(),
         )

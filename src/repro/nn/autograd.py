@@ -17,6 +17,7 @@ counterparts.
 
 from __future__ import annotations
 
+import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +29,8 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "inference_dispatch_count",
+    "set_active_profiler",
+    "active_profiler",
 ]
 
 
@@ -40,6 +43,23 @@ class _GradMode:
     # the fast-path ops that region executed (the probe engine's tests
     # and telemetry do exactly that).
     inference_dispatches: int = 0
+    # The installed op profiler (repro.telemetry.profiler.OpProfiler),
+    # or None.  Checked with one attribute load per dispatch so the
+    # un-profiled path pays nothing measurable.
+    profiler: Optional[Any] = None
+
+
+def set_active_profiler(profiler: Optional[Any]) -> Optional[Any]:
+    """Install ``profiler`` as the dispatch hook; returns the previous
+    one so nested installs can restore it."""
+    previous = _GradMode.profiler
+    _GradMode.profiler = profiler
+    return previous
+
+
+def active_profiler() -> Optional[Any]:
+    """The currently installed op profiler, if any."""
+    return _GradMode.profiler
 
 
 def inference_dispatch_count() -> int:
@@ -144,10 +164,18 @@ class Function:
         """
         from .tensor import Tensor  # local import to avoid a cycle
 
+        profiler = _GradMode.profiler
         if not _GradMode.enabled:
             _GradMode.inference_dispatches += 1
             raw = [a.data if isinstance(a, Tensor) else a for a in args]
-            return Tensor(cls.forward(_INFERENCE_CTX, *raw, **kwargs))
+            if profiler is None:
+                return Tensor(cls.forward(_INFERENCE_CTX, *raw, **kwargs))
+            start = time.perf_counter()
+            out_data = cls.forward(_INFERENCE_CTX, *raw, **kwargs)
+            profiler.record(
+                cls, raw, out_data, time.perf_counter() - start
+            )
+            return Tensor(out_data)
 
         ctx = Context()
         tensor_args: List[Optional[Tensor]] = []
@@ -163,7 +191,14 @@ class Function:
         ctx.needs_input_grad = tuple(
             t is not None and t.requires_grad for t in tensor_args
         )
-        out_data = cls.forward(ctx, *raw_args, **kwargs)
+        if profiler is None:
+            out_data = cls.forward(ctx, *raw_args, **kwargs)
+        else:
+            start = time.perf_counter()
+            out_data = cls.forward(ctx, *raw_args, **kwargs)
+            profiler.record(
+                cls, raw_args, out_data, time.perf_counter() - start
+            )
 
         requires_grad = is_grad_enabled() and any(ctx.needs_input_grad)
         out = Tensor(out_data, requires_grad=requires_grad)

@@ -15,6 +15,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import autograd
 from .autograd import Context, Function, is_grad_enabled
 from .tensor import Tensor, as_tensor
 
@@ -69,6 +70,14 @@ def _im2col_scratch(shape: Tuple[int, int], dtype: np.dtype) -> np.ndarray:
             _IM2COL_SCRATCH.clear()
         buf = np.empty(shape, dtype=dtype)
         _IM2COL_SCRATCH[key] = buf
+        profiler = autograd.active_profiler()
+        if profiler is not None:
+            # Arena high-water accounting: fresh allocations only (a
+            # reused buffer moves no new memory).
+            profiler.note_scratch(
+                buf.nbytes,
+                sum(b.nbytes for b in _IM2COL_SCRATCH.values()),
+            )
     return buf
 
 

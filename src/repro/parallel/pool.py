@@ -107,6 +107,15 @@ class ProbeWorkerPool:
         self._quantize_activations = quantize_activations
         self._start_timeout = start_timeout
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Workers capture their own telemetry (events-w<id>.jsonl +
+        # metrics-w<id>.json) in the parent's run directory when it has
+        # one; with directory-less or disabled telemetry they stay dark.
+        self._worker_telemetry_dir: Optional[str] = (
+            str(self._telemetry.directory)
+            if self._telemetry.enabled
+            and self._telemetry.directory is not None
+            else None
+        )
         self._store = SharedArrayStore()
         self._workers: List[Any] = []
         self._command_queues: List[Any] = []
@@ -145,7 +154,8 @@ class ProbeWorkerPool:
         process = self._ctx.Process(
             target=worker_main,
             args=(worker_id, self._model, self._quantize_activations,
-                  command_queue, self._result_queue),
+                  command_queue, self._result_queue,
+                  self._worker_telemetry_dir),
             daemon=True,
             name=f"probe-worker-{worker_id}",
         )
@@ -325,13 +335,26 @@ class ProbeWorkerPool:
         task_id: int,
         layer_names: Sequence[str],
         bits: int,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Queue one candidate evaluation on a specific worker."""
+        """Queue one candidate evaluation on a specific worker.
+
+        ``trace`` is an optional cross-process trace context (the
+        parent's fan-out span id and step).  The submit wall clock is
+        stamped here — ``time.time()`` is the only clock both sides of
+        the fork share — so the worker can report how long the command
+        sat in the queue before compute started.
+        """
         if self._closed:
             raise PoolError("probe pool is closed")
-        self._command_queues[worker_id].put(
-            ("eval", self._eval_gen, task_id, list(layer_names), bits)
+        message: Tuple[Any, ...] = (
+            "eval", self._eval_gen, task_id, list(layer_names), bits,
         )
+        if trace is not None:
+            stamped = dict(trace)
+            stamped["submitted_ts"] = time.time()
+            message = message + (stamped,)
+        self._command_queues[worker_id].put(message)
 
     def _queue_get(self, timeout: float) -> Optional[Any]:
         """Pop straight from the result queue, or None on timeout."""

@@ -98,6 +98,9 @@ class FanOutReport:
     # (the pre-supervision pool would have discarded all of them).
     salvaged: int = 0
     respawned: int = 0
+    # In-flight candidates moved (once) from a faulted worker onto a
+    # survivor instead of going serial.
+    requeued: int = 0
     # Candidates newly quarantined during this round.
     quarantined: List[Hashable] = field(default_factory=list)
     # Candidates whose results never arrived (they evaluate serially).
@@ -173,6 +176,9 @@ class PoolSupervisor:
         # Workers whose respawn failed for good (budget or repeated
         # failure): excluded from sweeps until the pool is rebuilt.
         self._written_off: Set[int] = set()
+        # Trace context of the round in flight, so requeues carry the
+        # same cross-process parentage as the original submit.
+        self._round_trace: Optional[Dict[str, Any]] = None
 
     # -- deadline policy -----------------------------------------------------
 
@@ -250,6 +256,7 @@ class PoolSupervisor:
         bit_config: Dict[str, Any],
         pinned_batches: Sequence[Any],
         tasks: Sequence[ProbeTask],
+        trace: Optional[Dict[str, Any]] = None,
     ) -> FanOutReport:
         """Broadcast, fan ``tasks`` out, and collect under supervision.
 
@@ -257,8 +264,13 @@ class PoolSupervisor:
         absorbed into the report.  A fault in the supervisor's own
         machinery (or an unrecoverable broadcast failure) still
         propagates as :class:`PoolError` and the caller degrades.
+
+        ``trace`` (optional) is forwarded with every submit — including
+        requeues — so worker-side spans join the parent's fan-out span
+        into one trace.
         """
         report = FanOutReport()
+        self._round_trace = trace
         tasks = [t for t in tasks if t[0] not in self._quarantined]
         if not tasks:
             return report
@@ -284,7 +296,7 @@ class PoolSupervisor:
         pending: Dict[int, _InFlight] = {}
         for i, (key, layer_names, bits) in enumerate(tasks):
             worker = alive[i % len(alive)]
-            pool.submit(worker, i, layer_names, bits)
+            pool.submit(worker, i, layer_names, bits, trace=trace)
             pending[i] = _InFlight(key, layer_names, bits, worker)
 
         # 3. Collect until done or the adaptive deadline expires.
@@ -425,7 +437,9 @@ class PoolSupervisor:
                 continue
             entry.requeued = True
             entry.worker = alive[i % len(alive)]
-            pool.submit(entry.worker, tid, entry.layer_names, entry.bits)
+            pool.submit(entry.worker, tid, entry.layer_names, entry.bits,
+                        trace=self._round_trace)
+            report.requeued += 1
 
     def _respawn(
         self, pool: ProbeWorkerPool, worker_id: int, report: FanOutReport

@@ -21,8 +21,16 @@ Each worker owns a private replica of the model (inherited through the
     run).  Any other exception is shipped as ``status="error"`` and
     makes the parent fall back to the serial path.
 
-Workers never touch telemetry, journals or checkpoints — observation
-and persistence stay single-writer in the parent.
+Workers never touch journals or checkpoints — persistence stays
+single-writer in the parent.  Telemetry, by contrast, is captured
+*in-process* when the parent passes a ``telemetry_dir``: each worker
+runs its own registry + span tracer writing ``events-w<id>.jsonl`` and
+``metrics-w<id>.json`` (single-writer per file, so there is still no
+shared mutable observer state).  Eval commands carry a trace context
+(``trace_id``/parent span id stamped by the parent, plus the submit
+wall-clock), so a fan-out round reassembles into one coherent
+cross-process trace and the queue-wait vs. compute split is measurable
+— see :mod:`repro.telemetry.aggregate`.
 """
 
 from __future__ import annotations
@@ -107,6 +115,7 @@ def worker_main(
     quantize_activations: bool,
     command_queue,
     result_queue,
+    telemetry_dir: Optional[str] = None,
 ) -> None:
     """Entry point of one forked probe worker (runs until ``stop``)."""
     from ..core.probe import PinnedProbeSet
@@ -118,7 +127,16 @@ def worker_main(
         quantized_layers,
         set_bit_config,
     )
+    from ..telemetry import NULL_TELEMETRY, Telemetry
     from .sharedmem import attach_arrays, views_from
+
+    telemetry = NULL_TELEMETRY
+    if telemetry_dir is not None:
+        try:
+            telemetry = Telemetry.for_worker(telemetry_dir, worker_id)
+        except OSError:
+            # A worker that cannot observe must still evaluate.
+            telemetry = NULL_TELEMETRY
 
     layers = dict(quantized_layers(model))
     shm = None
@@ -142,6 +160,8 @@ def worker_main(
                 break
             if kind == "sync":
                 _, name, manifest, bit_config, sync_seq = message
+                sync_span = telemetry.span("worker_sync", sync_seq=sync_seq)
+                sync_span.__enter__()
                 if shm is not None and name != shm_name:
                     shm.close()
                     shm = None
@@ -169,13 +189,38 @@ def worker_main(
                         if hasattr(quantizer, "_initialized"):
                             quantizer._initialized = True
                 pinned = PinnedProbeSet(batches)
+                sync_span.__exit__(None, None, None)
+                telemetry.counter("worker.syncs").inc()
+                # A fresh consistent snapshot after every barrier: a
+                # worker killed mid-round still leaves its last synced
+                # metrics behind for the aggregator.
+                telemetry.write_worker_metrics()
                 result_queue.put(("synced", worker_id, sync_seq))
                 continue
             if kind == "eval":
-                _, gen, task_id, layer_names, bits = message
+                _, gen, task_id, layer_names, bits = message[:5]
+                trace = message[5] if len(message) > 5 else None
                 outcome: Dict[str, object] = {
                     "task_id": task_id, "worker": worker_id, "gen": gen,
                 }
+                span_attrs: Dict[str, object] = {
+                    "task_id": task_id, "bits": bits, "gen": gen,
+                }
+                if isinstance(trace, dict):
+                    # Cross-process parenting: the parent's fan-out span
+                    # id rides along so the aggregator can reattach this
+                    # span under it; submitted_ts (wall clock — the only
+                    # clock shared across processes) gives queue wait.
+                    for field in ("trace_id", "parent_span", "step"):
+                        if trace.get(field) is not None:
+                            span_attrs[field] = trace[field]
+                    submitted = trace.get("submitted_ts")
+                    if submitted is not None:
+                        wait_s = max(0.0, time.time() - float(submitted))
+                        span_attrs["queue_wait_s"] = wait_s
+                        telemetry.histogram(
+                            "worker.queue_wait_s"
+                        ).observe(wait_s)
                 if FAULT_HOOK is not None:
                     action = FAULT_HOOK(
                         worker_id, task_id, layer_names, bits
@@ -192,6 +237,8 @@ def worker_main(
                         outcome["elapsed"] = 0.0
                         result_queue.put(("result", outcome))
                         continue
+                eval_span = telemetry.span("worker_eval", **span_attrs)
+                eval_span.__enter__()
                 t0 = time.perf_counter()
                 try:
                     if pinned is None:
@@ -225,8 +272,21 @@ def worker_main(
                     outcome["status"] = "error"
                     outcome["message"] = repr(err)
                 outcome["elapsed"] = time.perf_counter() - t0
+                status = str(outcome.get("status"))
+                if getattr(eval_span, "attrs", None) is not None:
+                    eval_span.attrs["status"] = status
+                eval_span.__exit__(None, None, None)
+                telemetry.counter("worker.evals", status=status).inc()
+                telemetry.histogram("worker.eval_s").observe(
+                    float(outcome["elapsed"])
+                )
                 result_queue.put(("result", outcome))
     finally:
+        try:
+            telemetry.write_worker_metrics()
+            telemetry.close()
+        except OSError:
+            pass
         if shm is not None:
             pinned = None
             try:

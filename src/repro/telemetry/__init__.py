@@ -1,23 +1,64 @@
 """``repro.telemetry`` — dependency-free observability for CCQ runs.
 
-Three cooperating parts behind one facade (:class:`Telemetry`):
+Cooperating parts behind one facade (:class:`Telemetry`):
 
 * a **metrics registry** — counters, gauges, histograms (exact
   p50/p90/p99) and timers with labeled series, snapshotting to
-  ``metrics.json`` / ``metrics.csv``;
+  ``metrics.json`` / ``metrics.csv``, mergeable across processes
+  (:meth:`MetricsRegistry.merge`);
 * a **span tracer** — nested wall-clock spans for every CCQ stage,
-  flushed to an append-only ``events.jsonl``;
-* a **structured logger** + live progress line replacing bare prints.
+  flushed to an append-only ``events.jsonl`` (per pool worker:
+  ``events-w<id>.jsonl``, reassembled by :mod:`.aggregate`);
+* a **structured logger** + live progress line replacing bare prints;
+* an **op-level profiler** (:mod:`.profiler`) hooking the autograd
+  dispatch for per-op wall-clock/FLOPs/bytes accounting;
+* **live monitoring** (:mod:`.monitor`) — tail an in-progress run's
+  telemetry directory, optionally serving Prometheus text over HTTP.
 
 The disabled path is :data:`NULL_TELEMETRY`, a shared singleton whose
 operations are allocation-free no-ops, so instrumentation costs nothing
 when switched off (the default everywhere).
 """
 
-from .core import NULL_TELEMETRY, Telemetry
-from .events import EventSink, JsonlSink, MemorySink, NullSink, read_events
+from .aggregate import (
+    AggregatedRun,
+    WorkerLane,
+    assemble_traces,
+    discover_worker_events,
+    discover_worker_metrics,
+    fanout_summary,
+    load_aggregated_run,
+    merge_worker_metrics,
+    namespace_worker_events,
+    pool_summary,
+    worker_lanes,
+)
+from .core import (
+    NULL_TELEMETRY,
+    Telemetry,
+    worker_events_file,
+    worker_metrics_file,
+)
+from .events import (
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    StampingSink,
+    read_events,
+)
 from .logging import LEVELS, ProgressLine, StructuredLogger, format_eta
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .metrics import (
+    Counter,
+    DROPPED_SERIES_METRIC,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    prometheus_text,
+)
+from .monitor import MonitorState, RunMonitor, serve_metrics
+from .profiler import OpProfiler, profile_model
 from .report import (
     RunTelemetry,
     STAGES,
@@ -37,6 +78,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Timer",
+    "DROPPED_SERIES_METRIC",
+    "prometheus_text",
     "SpanTracer",
     "NullTracer",
     "Span",
@@ -44,6 +87,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "NullSink",
+    "StampingSink",
     "read_events",
     "StructuredLogger",
     "ProgressLine",
@@ -56,4 +100,22 @@ __all__ = [
     "trajectory",
     "format_report",
     "write_trajectory_svg",
+    "worker_events_file",
+    "worker_metrics_file",
+    "AggregatedRun",
+    "WorkerLane",
+    "assemble_traces",
+    "discover_worker_events",
+    "discover_worker_metrics",
+    "fanout_summary",
+    "load_aggregated_run",
+    "namespace_worker_events",
+    "merge_worker_metrics",
+    "pool_summary",
+    "worker_lanes",
+    "OpProfiler",
+    "profile_model",
+    "MonitorState",
+    "RunMonitor",
+    "serve_metrics",
 ]

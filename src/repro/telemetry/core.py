@@ -22,20 +22,36 @@ Files written under the directory::
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 from typing import Any, Optional, TextIO, Union
 
-from .events import EventSink, JsonlSink, MemorySink, NullSink
+from .events import EventSink, JsonlSink, MemorySink, NullSink, StampingSink
 from .logging import ProgressLine, StructuredLogger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .spans import NullTracer, SpanTracer
 
-__all__ = ["Telemetry", "NULL_TELEMETRY"]
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "worker_events_file",
+    "worker_metrics_file",
+]
 
 EVENTS_FILE = "events.jsonl"
 METRICS_FILE = "metrics.json"
 METRICS_CSV_FILE = "metrics.csv"
+
+
+def worker_events_file(worker_id: int) -> str:
+    """Per-worker event file name (``events-w<id>.jsonl``)."""
+    return f"events-w{worker_id}.jsonl"
+
+
+def worker_metrics_file(worker_id: int) -> str:
+    """Per-worker full-fidelity metrics state (``metrics-w<id>.json``)."""
+    return f"metrics-w{worker_id}.json"
 
 
 class _NullMetric:
@@ -141,6 +157,47 @@ class Telemetry:
     def in_memory(cls, **kwargs: Any) -> "Telemetry":
         """Telemetry backed by a :class:`MemorySink` (tests, notebooks)."""
         return cls(sink=MemorySink(), **kwargs)
+
+    @classmethod
+    def for_worker(
+        cls, directory: Union[str, Path], worker_id: int
+    ) -> "Telemetry":
+        """A telemetry handle for one pool worker process.
+
+        Spans/events land in ``events-w<id>.jsonl`` stamped with the
+        worker id and pid.  ``directory`` is deliberately *not* set on
+        the handle: ``flush()``/``close()`` in the worker must never
+        clobber the parent's ``metrics.json``.  The worker's registry
+        ships via :meth:`write_worker_metrics` to ``metrics-w<id>.json``
+        instead, in full fidelity so the aggregator can merge exact
+        histograms.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        sink = StampingSink(
+            JsonlSink(directory / worker_events_file(worker_id)),
+            worker=int(worker_id),
+            pid=os.getpid(),
+        )
+        handle = cls(sink=sink, directory=None)
+        handle.worker_id = int(worker_id)
+        handle.worker_directory = directory
+        return handle
+
+    def write_worker_metrics(self) -> None:
+        """Snapshot the worker registry to its ``metrics-w<id>.json``.
+
+        Atomic (write + rename) so the parent never reads a torn file;
+        called after every sync barrier and on shutdown so a killed
+        worker still leaves its last consistent snapshot behind.
+        """
+        directory = getattr(self, "worker_directory", None)
+        worker_id = getattr(self, "worker_id", None)
+        if directory is None or worker_id is None:
+            return
+        self.registry.write_state(
+            Path(directory) / worker_metrics_file(worker_id)
+        )
 
     # -- paths ----------------------------------------------------------
 

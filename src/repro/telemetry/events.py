@@ -19,7 +19,14 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["EventSink", "JsonlSink", "MemorySink", "NullSink", "read_events"]
+__all__ = [
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "StampingSink",
+    "read_events",
+]
 
 
 class EventSink:
@@ -78,6 +85,33 @@ class JsonlSink(EventSink):
         if self._file is not None:
             self._file.close()
             self._file = None
+
+
+class StampingSink(EventSink):
+    """Wraps a sink, stamping fixed fields onto every event.
+
+    Pool workers wrap their :class:`JsonlSink` in one of these so each
+    emitted span/event carries ``worker``/``pid`` without every call
+    site having to thread them through — which is what lets the
+    aggregator attribute merged events back to their source process.
+    Explicit fields on the event win over the stamp.
+    """
+
+    def __init__(self, inner: EventSink, **fields: Any) -> None:
+        self.inner = inner
+        self.fields = dict(fields)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        merged = dict(event)
+        for key, value in self.fields.items():
+            merged.setdefault(key, value)
+        self.inner.emit(merged)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 def _json_fallback(value: Any) -> Any:

@@ -33,7 +33,14 @@ __all__ = [
     "Histogram",
     "Timer",
     "MetricsRegistry",
+    "DROPPED_SERIES_METRIC",
+    "prometheus_text",
 ]
+
+# Self-metric incremented whenever the per-name label-cardinality cap
+# collapses a new series into the overflow bucket, so the drop is
+# visible in scrapes and merged reports, not just the raw attribute.
+DROPPED_SERIES_METRIC = "telemetry.dropped_series"
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -165,6 +172,8 @@ class MetricsRegistry:
         self._series: Dict[str, Dict[LabelKey, Any]] = {}
         self._types: Dict[str, str] = {}
         self.dropped_series = 0
+        self._overflow_logged: set = set()
+        self._in_overflow = False
 
     def _get(self, kind: str, name: str, labels: Dict[str, Any]) -> Any:
         existing = self._types.get(name)
@@ -183,6 +192,7 @@ class MetricsRegistry:
                 # shared series instead of growing without bound (or
                 # killing the run it is observing).
                 self.dropped_series += 1
+                self._note_overflow(name)
                 key = _label_key({"overflow": "true"})
                 metric = series.get(key)
                 if metric is None:
@@ -192,6 +202,30 @@ class MetricsRegistry:
             metric = self.METRIC_TYPES[kind]()
             series[key] = metric
         return metric
+
+    def _note_overflow(self, name: str) -> None:
+        """Record a dropped series visibly: self-metric + one-shot log.
+
+        The re-entrancy guard keeps the self-metric from recursing into
+        the cardinality check it is reporting on.
+        """
+        if self._in_overflow or name == DROPPED_SERIES_METRIC:
+            return
+        self._in_overflow = True
+        try:
+            self._get("counter", DROPPED_SERIES_METRIC,
+                      {"metric": name}).inc()
+            if name not in self._overflow_logged:
+                self._overflow_logged.add(name)
+                import sys
+                sys.stderr.write(
+                    f"[telemetry] metric {name!r} hit the label-cardinality "
+                    f"cap ({self.max_series_per_name} series); further "
+                    f"label sets collapse into overflow=true "
+                    f"(logged once per metric)\n"
+                )
+        finally:
+            self._in_overflow = False
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get("counter", name, labels)
@@ -204,6 +238,94 @@ class MetricsRegistry:
 
     def timer(self, name: str, **labels: Any) -> Timer:
         return Timer(self._get("histogram", name, labels))
+
+    # -- merge / full-fidelity state ------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s series into this registry, in place.
+
+        Series with the same ``(name, labels)`` combine by kind:
+        counters add, gauges take the other side's value when set
+        (last-writer-wins, matching :meth:`Gauge.set`), histograms
+        concatenate raw observations so post-merge percentiles stay
+        exact.  A name carrying a different metric *type* on the two
+        sides raises ``TypeError``, same as at the call site.
+        """
+        for name, kind, labels, metric in other.series():
+            mine = self._get(kind, name, labels)
+            if kind == "counter":
+                mine.value += metric.value
+            elif kind == "gauge":
+                if metric.value is not None:
+                    mine.value = metric.value
+            else:
+                mine.values.extend(metric.values)
+        self.dropped_series += other.dropped_series
+        return self
+
+    def state(self) -> Dict[str, Any]:
+        """Full-fidelity JSON-ready dump (raw histogram observations).
+
+        Unlike :meth:`snapshot` this loses nothing: a registry rebuilt
+        via :meth:`from_state` merges exactly like the original.  Used
+        by pool workers to ship their registry across process exit.
+        """
+        metrics: List[Dict[str, Any]] = []
+        for name, kind, labels, metric in self.series():
+            entry: Dict[str, Any] = {
+                "name": name, "kind": kind, "labels": labels,
+            }
+            if kind == "histogram":
+                entry["values"] = list(metric.values)
+            else:
+                entry["value"] = metric.value
+            metrics.append(entry)
+        return {
+            "format": "metrics-state-v1",
+            "dropped_series": self.dropped_series,
+            "metrics": metrics,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, Any], max_series_per_name: int = 512
+    ) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`state` dump."""
+        fmt = state.get("format")
+        if fmt != "metrics-state-v1":
+            raise ValueError(
+                f"not a metrics state dump (format={fmt!r})"
+            )
+        registry = cls(max_series_per_name=max_series_per_name)
+        for entry in state.get("metrics", []):
+            kind = entry.get("kind")
+            if kind not in cls.METRIC_TYPES:
+                continue
+            metric = registry._get(kind, entry["name"],
+                                   dict(entry.get("labels", {})))
+            if kind == "histogram":
+                metric.values.extend(
+                    float(v) for v in entry.get("values", [])
+                )
+            elif kind == "counter":
+                metric.value = float(entry.get("value") or 0.0)
+            else:
+                value = entry.get("value")
+                metric.value = None if value is None else float(value)
+        registry.dropped_series = int(state.get("dropped_series", 0))
+        return registry
+
+    def write_state(self, path: Union[str, Path]) -> None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(path).with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(self.state(), f)
+        tmp.replace(path)
+
+    @classmethod
+    def read_state(cls, path: Union[str, Path]) -> "MetricsRegistry":
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_state(json.load(f))
 
     # -- export ---------------------------------------------------------
 
@@ -235,9 +357,15 @@ class MetricsRegistry:
     def write_json(self, path: Union[str, Path]) -> None:
         payload = dict(self.snapshot())
         payload["written_at"] = time.time()
-        Path(path).parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as f:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace: the run rewrites this file every step and
+        # ``repro watch`` reads it concurrently — a reader must never
+        # see a half-written snapshot.
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=2)
+        tmp.replace(path)
 
     def to_csv(self) -> str:
         """Flat CSV: one row per scalar (histograms expand to summaries)."""
@@ -258,3 +386,93 @@ class MetricsRegistry:
         Path(path).parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8", newline="") as f:
             f.write(self.to_csv())
+
+
+# -- Prometheus exposition ----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize to the Prometheus metric-name charset."""
+    cleaned = "".join(
+        c if (c.isascii() and (c.isalnum() or c in "_:")) else "_"
+        for c in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for k, v in sorted(labels.items()):
+        value = (
+            str(v).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{_prom_name(str(k))}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus
+    text exposition format (version 0.0.4).
+
+    Counters and gauges map directly; histograms expose as summaries
+    (``quantile`` labels plus ``_sum``/``_count``).  Operates on the
+    snapshot dict rather than the registry so it works on a
+    ``metrics.json`` read off disk, which is how the ``repro watch``
+    HTTP endpoint serves runs it does not own.
+    """
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def type_line(name: str, prom_type: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {prom_type}")
+
+    for entry in snapshot.get("counters", []):
+        name = _prom_name(entry["name"])
+        type_line(name, "counter")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels', {}))} "
+            f"{float(entry.get('value') or 0.0):g}"
+        )
+    for entry in snapshot.get("gauges", []):
+        if entry.get("value") is None:
+            continue
+        name = _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels', {}))} "
+            f"{float(entry['value']):g}"
+        )
+    for entry in snapshot.get("histograms", []):
+        if not entry.get("count"):
+            continue
+        name = _prom_name(entry["name"])
+        type_line(name, "summary")
+        labels = dict(entry.get("labels", {}))
+        for q, field in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            value = entry.get(field)
+            if value is None:
+                continue
+            q_labels = dict(labels)
+            q_labels["quantile"] = f"{q:g}"
+            lines.append(f"{name}{_prom_labels(q_labels)} {value:g}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} "
+            f"{float(entry.get('sum') or 0.0):g}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(labels)} {int(entry['count'])}"
+        )
+    if snapshot.get("dropped_series"):
+        type_line("telemetry_dropped_series_total", "counter")
+        lines.append(
+            f"telemetry_dropped_series_total "
+            f"{int(snapshot['dropped_series'])}"
+        )
+    return "\n".join(lines) + "\n"

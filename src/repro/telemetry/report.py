@@ -36,9 +36,14 @@ __all__ = [
 # The span names charged as top-level stages of a CCQ run, in report
 # order.  Everything else (winner draws, journal appends, ...) is
 # uninstrumented overhead and shows up as the coverage gap.
+# ``probe_fanout`` is the parent-side window of a parallel probe round
+# (broadcast + collection); the in-worker compute happening inside that
+# window lives in the per-worker event files and is reported through
+# the worker-lane section, so charging the window here covers it in
+# the exclusive accounting without double counting.
 STAGES = (
-    "initialize", "probe", "recover", "eval", "snapshot", "account",
-    "checkpoint",
+    "initialize", "probe", "probe_fanout", "recover", "eval", "snapshot",
+    "account", "checkpoint",
 )
 
 
@@ -253,6 +258,8 @@ def format_report(run: RunTelemetry) -> str:
             )
         lines.append("")
 
+    lines.extend(_worker_lane_lines(run))
+
     histograms = run.metrics.get("histograms", [])
     if histograms:
         lines.append("histograms (p50 / p90 / p99)")
@@ -270,6 +277,73 @@ def format_report(run: RunTelemetry) -> str:
         lines.append("")
 
     return "\n".join(lines)
+
+
+def _worker_lane_lines(run: RunTelemetry) -> List[str]:
+    """The per-worker lane section of the report (empty when serial).
+
+    Imported lazily: :mod:`.aggregate` imports this module for
+    :class:`RunTelemetry`, so a top-level import would be circular.
+    """
+    from .aggregate import (
+        AggregatedRun,
+        discover_worker_events,
+        fanout_summary,
+        load_aggregated_run,
+        pool_summary,
+        worker_lanes,
+    )
+
+    if not discover_worker_events(run.directory):
+        return []
+    agg: AggregatedRun = load_aggregated_run(run.directory)
+    lanes = worker_lanes(agg)
+    if not lanes:
+        return []
+    lines: List[str] = []
+    lines.append(f"worker lanes ({len(lanes)} workers)")
+    lines.append(
+        f"{'worker':<8} {'evals':>6} {'ok':>5} {'compute s':>10} "
+        f"{'wait s':>8} {'sync s':>8} {'share':>7}"
+    )
+    pool = pool_summary(agg)
+    window = pool["fanout_window_s"]
+    for worker_id, lane in sorted(lanes.items()):
+        share = lane.busy_s / window if window > 0 else 0.0
+        lines.append(
+            f"{'w' + str(worker_id):<8} {lane.evals:>6d} {lane.ok:>5d} "
+            f"{lane.busy_s:>10.3f} {lane.queue_wait_s:>8.3f} "
+            f"{lane.sync_s:>8.3f} {share:>6.1%}"
+        )
+    lines.append(
+        f"  pool utilization:    {pool['utilization']:.1%} over "
+        f"{pool['fanout_rounds']} fan-out round(s), "
+        f"{window:.3f}s window"
+    )
+    lines.append(
+        f"  queue-wait share:    {pool['queue_wait_share']:.1%} of "
+        f"worker time (wait vs compute)"
+    )
+    fanout = fanout_summary(run)
+    if fanout["rounds"]:
+        lines.append(
+            f"  fan-out overhead:    attempted={fanout['attempted']} "
+            f"completed={fanout['completed']} "
+            f"salvaged={fanout['salvaged']} "
+            f"requeued={fanout['requeued']} "
+            f"respawned={fanout['respawned']} "
+            f"quarantined={fanout['quarantined']} "
+            f"missing={fanout['missing']}"
+        )
+        if fanout["deadline_s"] is not None:
+            ema = fanout["ema_batch_s"]
+            ema_text = f"{ema:.4f}s" if ema is not None else "-"
+            lines.append(
+                f"  deadline (last):     {fanout['deadline_s']:.2f}s "
+                f"(per-batch EMA {ema_text})"
+            )
+    lines.append("")
+    return lines
 
 
 def _fmt(value: Optional[float], suffix: str = "") -> str:

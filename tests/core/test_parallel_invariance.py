@@ -210,6 +210,87 @@ class TestSerialFallback:
         assert trajectory(result) == trajectory(serial)
 
 
+class TestWorkerTelemetry:
+    def test_trajectory_unchanged_with_worker_telemetry_enabled(
+        self, run_factory, tmp_path
+    ):
+        """Telemetry capture inside the workers (per-worker event files,
+        span/trace propagation through the command queue) must be as
+        bit-invisible to the trajectory as the pool itself."""
+        from repro.telemetry import Telemetry
+
+        net, train, val = run_factory()
+        serial = CCQQuantizer(
+            net, train, val, config=make_config(max_steps=3)
+        ).run()
+
+        telemetry = Telemetry.create(
+            directory=tmp_path / "telem", log_level="error"
+        )
+        net, train, val = run_factory()
+        quantizer = CCQQuantizer(
+            net, train, val,
+            config=make_config(max_steps=3, probe_workers=2),
+            telemetry=telemetry,
+        )
+        instrumented = quantizer.run()
+        telemetry.close()
+        assert not quantizer._pool_failed
+
+        assert trajectory(instrumented) == trajectory(serial)
+        assert probe_trace(instrumented) == probe_trace(serial)
+
+    def test_two_worker_run_emits_mergeable_worker_telemetry(
+        self, run_factory, tmp_path
+    ):
+        from repro.telemetry import (
+            Telemetry,
+            assemble_traces,
+            load_aggregated_run,
+            merge_worker_metrics,
+            pool_summary,
+            worker_lanes,
+        )
+
+        directory = tmp_path / "telem"
+        telemetry = Telemetry.create(
+            directory=directory, log_level="error"
+        )
+        net, train, val = run_factory()
+        CCQQuantizer(
+            net, train, val,
+            config=make_config(max_steps=3, probe_workers=2),
+            telemetry=telemetry,
+        ).run()
+        telemetry.close()
+
+        agg = load_aggregated_run(directory)
+        assert agg.n_workers == 2
+
+        lanes = worker_lanes(agg)
+        assert set(lanes) == {0, 1}
+        assert all(lane.evals > 0 for lane in lanes.values())
+        assert all(lane.busy_s > 0.0 for lane in lanes.values())
+
+        summary = pool_summary(agg)
+        assert summary["fanout_rounds"] == 3
+        assert 0.0 < summary["utilization"] <= 1.0
+
+        # Every worker eval stitches to a parent fan-out span.
+        traces = assemble_traces(agg)
+        assert len(traces) == 3
+        children = [c for t in traces for c in t["children"]]
+        assert children
+        joined = sum(len(t["children"]) for t in traces)
+        total_evals = sum(lane.evals for lane in lanes.values())
+        assert joined == total_evals
+
+        merged = merge_worker_metrics(directory)
+        names = {name for name, _, _, _ in merged.series()}
+        assert "worker.evals" in names
+        assert "worker.eval_s" in names
+
+
 class TestConfigSurface:
     def test_negative_probe_workers_rejected(self, run_factory):
         net, train, val = run_factory()

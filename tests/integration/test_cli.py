@@ -237,3 +237,80 @@ class TestTelemetryCLI:
         assert code == 0
         printed = capsys.readouterr().out
         assert "baseline accuracy" not in printed
+
+
+class TestProfileCommand:
+    def test_profile_prints_conv_and_gemm_rows(self, capsys, tmp_path):
+        json_out = tmp_path / "profile.json"
+        code = main([
+            "profile",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--batch-size", "4",
+            "--repeats", "1",
+            "--json", str(json_out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "conv2d" in printed
+        assert "matmul" in printed
+        assert "GFLOP" in printed
+        payload = json.loads(json_out.read_text())
+        names = {op["name"] for op in payload["ops"]}
+        assert any(n.startswith("conv2d") for n in names)
+        assert payload["total_flops"] > 0
+        assert payload["batch"] == 4
+
+    def test_train_mode_profiles_backward_too(self, capsys):
+        code = main([
+            "profile",
+            "--task", "resnet20_cifar10",
+            "--scale", "micro",
+            "--batch-size", "4",
+            "--repeats", "1",
+            "--train",
+        ])
+        assert code == 0
+        assert "train (fwd+bwd)" in capsys.readouterr().out
+
+
+class TestWatchCommand:
+    def _write_replay(self, directory):
+        directory.mkdir(parents=True, exist_ok=True)
+        events = [
+            {"type": "event", "name": "step_complete", "ts": 1.0,
+             "mono": 1.0,
+             "fields": {"step": 0, "layer": "conv1", "from_bits": 8,
+                        "to_bits": 4, "recovered_accuracy": 0.7,
+                        "compression": 2.0}},
+            {"type": "event", "name": "run_complete", "ts": 2.0,
+             "mono": 2.0, "fields": {"steps": 1}},
+        ]
+        with open(directory / "events.jsonl", "w") as f:
+            for event in events:
+                f.write(json.dumps(event) + "\n")
+
+    def test_watch_once_renders_replayed_run(self, capsys, tmp_path):
+        run_dir = tmp_path / "telem"
+        self._write_replay(run_dir)
+        code = main(["watch", str(run_dir), "--once"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "status: complete" in printed
+        assert "step: 0" in printed
+        assert "conv1=4b" in printed
+
+    def test_watch_until_complete_with_server(self, capsys, tmp_path):
+        import urllib.request
+
+        run_dir = tmp_path / "telem"
+        self._write_replay(run_dir)
+        # --serve 0 binds an ephemeral loopback port; --until-complete
+        # exits on the replayed run_complete, so this cannot hang.
+        code = main([
+            "watch", str(run_dir), "--until-complete",
+            "--interval", "0.01", "--serve", "0",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics on http://" in err

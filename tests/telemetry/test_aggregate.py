@@ -1,0 +1,237 @@
+"""Cross-process trace aggregation: namespacing, lanes, reassembly.
+
+The robustness contract under test: worker files are written by
+processes the supervisor kills on purpose, so truncated tails,
+missing snapshots and out-of-order arrival must degrade to "less
+data", never to an exception or a mis-spliced trace.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    assemble_traces,
+    fanout_summary,
+    load_aggregated_run,
+    merge_worker_metrics,
+    namespace_worker_events,
+    pool_summary,
+    worker_lanes,
+)
+
+
+def span(name, span_id, ts, duration, parent=None, attrs=None):
+    event = {
+        "type": "span", "name": name, "id": span_id, "parent": parent,
+        "depth": 0, "ts": ts, "mono": ts, "duration_s": duration,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+def write_jsonl(path, events):
+    with open(path, "w", encoding="utf-8") as f:
+        for event in events:
+            f.write(json.dumps(event) + "\n")
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    """A synthetic parent run with two fan-out rounds."""
+    telemetry = Telemetry.create(directory=tmp_path, log_level="error")
+    with telemetry.span("run"):
+        with telemetry.span("probe_fanout", step=0):
+            pass
+        with telemetry.span("probe_fanout", step=1):
+            pass
+    telemetry.event(
+        "fanout_report", step=0, attempted=4, completed=3, salvaged=1,
+        requeued=1, respawned=1, quarantined=0, missing=0,
+        degraded=False, deadline_s=2.0, ema_batch_s=0.05,
+    )
+    telemetry.event(
+        "fanout_report", step=1, attempted=4, completed=4, salvaged=0,
+        requeued=0, respawned=0, quarantined=0, missing=0,
+        degraded=False, deadline_s=1.5, ema_batch_s=0.04,
+    )
+    telemetry.close()
+    return tmp_path
+
+
+class TestNamespacing:
+    def test_span_ids_become_worker_strings(self):
+        events = namespace_worker_events(
+            3, [span("worker_eval", 17, 10.0, 0.5, parent=2)]
+        )
+        assert events[0]["id"] == "w3:17"
+        assert events[0]["parent"] == "w3:2"
+        assert events[0]["worker"] == 3
+
+    def test_parent_span_attr_reparents_across_processes(self):
+        events = namespace_worker_events(
+            1,
+            [span("worker_eval", 4, 10.0, 0.5,
+                  attrs={"parent_span": 42})],
+        )
+        # The parent is the *parent process's* raw span id, untouched.
+        assert events[0]["parent"] == 42
+        assert events[0]["id"] == "w1:4"
+
+    def test_non_span_events_only_gain_worker_field(self):
+        events = namespace_worker_events(
+            2, [{"type": "log", "level": "info", "msg": "hi", "ts": 1.0}]
+        )
+        assert events[0]["worker"] == 2
+        assert "id" not in events[0]
+
+
+class TestTraceReassembly:
+    def make_worker_files(self, run_dir, fanout_ids):
+        """Two workers, each owning evals of both rounds — written
+        deliberately out of time order within each file."""
+        first, second = fanout_ids
+        write_jsonl(run_dir / "events-w0.jsonl", [
+            span("worker_eval", 2, 20.0, 0.4,
+                 attrs={"parent_span": second, "status": "ok",
+                        "queue_wait_s": 0.01}),
+            span("worker_eval", 1, 10.0, 0.3,
+                 attrs={"parent_span": first, "status": "ok",
+                        "queue_wait_s": 0.02}),
+            span("worker_sync", 0, 5.0, 0.1),
+        ])
+        write_jsonl(run_dir / "events-w1.jsonl", [
+            span("worker_eval", 1, 10.5, 0.2,
+                 attrs={"parent_span": first, "status": "error",
+                        "queue_wait_s": 0.05}),
+            # Orphan: references a fan-out span that never closed
+            # (parent crashed mid-round) — must land in no trace.
+            span("worker_eval", 2, 30.0, 0.2,
+                 attrs={"parent_span": 999_999, "status": "ok"}),
+        ])
+
+    def fanout_ids(self, agg):
+        return [
+            s["id"] for s in agg.run.spans
+            if s["name"] == "probe_fanout"
+        ]
+
+    def test_children_attach_to_their_fanout_round_in_ts_order(
+        self, run_dir
+    ):
+        agg = load_aggregated_run(run_dir)
+        self.make_worker_files(run_dir, self.fanout_ids(agg))
+        agg = load_aggregated_run(run_dir)
+
+        traces = assemble_traces(agg)
+        assert len(traces) == 2
+        first, second = traces
+        # Round 0 got one eval from each worker, sorted by wall clock
+        # even though the files interleave differently.
+        assert [c["worker"] for c in first["children"]] == [0, 1]
+        assert [c["ts"] for c in first["children"]] == [10.0, 10.5]
+        assert [c["id"] for c in second["children"]] == ["w0:2"]
+        # The orphan is in neither trace.
+        all_children = first["children"] + second["children"]
+        assert all(
+            c["attrs"]["parent_span"] != 999_999 for c in all_children
+        )
+
+    def test_truncated_worker_file_contributes_its_prefix(self, run_dir):
+        agg = load_aggregated_run(run_dir)
+        self.make_worker_files(run_dir, self.fanout_ids(agg))
+        # Kill worker 1 mid-write: torn JSON on the last line.
+        with open(run_dir / "events-w1.jsonl", "a",
+                  encoding="utf-8") as f:
+            f.write('{"type": "span", "name": "worker_ev')
+        agg = load_aggregated_run(run_dir)
+        assert len(agg.worker_events[1]) == 2  # the complete prefix
+        traces = assemble_traces(agg)
+        assert len(traces[0]["children"]) == 2
+
+    def test_merged_events_sorted_by_wall_clock(self, run_dir):
+        agg = load_aggregated_run(run_dir)
+        self.make_worker_files(run_dir, self.fanout_ids(agg))
+        agg = load_aggregated_run(run_dir)
+        merged = agg.merged_events()
+        stamps = [e["ts"] for e in merged]
+        assert stamps == sorted(stamps)
+        # Worker and parent events share one stream.
+        assert {e.get("worker") for e in merged} >= {None, 0, 1}
+
+    def test_lanes_and_pool_summary(self, run_dir):
+        agg = load_aggregated_run(run_dir)
+        self.make_worker_files(run_dir, self.fanout_ids(agg))
+        agg = load_aggregated_run(run_dir)
+
+        lanes = worker_lanes(agg)
+        assert lanes[0].evals == 2 and lanes[0].ok == 2
+        assert lanes[0].busy_s == pytest.approx(0.7)
+        assert lanes[0].sync_s == pytest.approx(0.1)
+        assert lanes[1].ok == 1  # the error eval doesn't count as ok
+        assert lanes[1].queue_wait_s == pytest.approx(0.05)
+
+        summary = pool_summary(agg)
+        assert summary["n_workers"] == 2
+        assert summary["fanout_rounds"] == 2
+        assert summary["busy_s"] == pytest.approx(0.7 + 0.4)
+        assert 0.0 <= summary["utilization"]
+        assert 0.0 < summary["queue_wait_share"] < 1.0
+
+    def test_empty_directory_degrades_to_no_workers(self, run_dir):
+        agg = load_aggregated_run(run_dir)
+        assert agg.n_workers == 0
+        assert worker_lanes(agg) == {}
+        assert pool_summary(agg)["utilization"] == 0.0
+        assert assemble_traces(agg) == [
+            {"fanout": s, "children": []}
+            for s in agg.run.spans if s["name"] == "probe_fanout"
+        ]
+
+
+class TestFanoutSummary:
+    def test_totals_and_last_deadline(self, run_dir):
+        agg = load_aggregated_run(run_dir)
+        summary = fanout_summary(agg.run)
+        assert summary["rounds"] == 2
+        assert summary["attempted"] == 8
+        assert summary["completed"] == 7
+        assert summary["salvaged"] == 1
+        assert summary["requeued"] == 1
+        assert summary["respawned"] == 1
+        assert summary["deadline_s"] == 1.5  # the last round's
+        assert summary["ema_batch_s"] == 0.04
+
+
+class TestMergeWorkerMetrics:
+    def test_worker_label_added_and_histograms_exact(self, tmp_path):
+        for worker_id, values in ((0, [1.0, 2.0]), (1, [3.0, 4.0])):
+            reg = MetricsRegistry()
+            reg.counter("worker.evals").inc(len(values))
+            for v in values:
+                reg.histogram("worker.eval_s").observe(v)
+            reg.write_state(tmp_path / f"metrics-w{worker_id}.json")
+
+        merged = merge_worker_metrics(tmp_path)
+        series = {
+            (name, labels.get("worker")): metric
+            for name, kind, labels, metric in merged.series()
+        }
+        assert series[("worker.evals", "0")].value == 2.0
+        assert series[("worker.evals", "1")].value == 2.0
+        assert series[("worker.eval_s", "1")].values == [3.0, 4.0]
+
+    def test_corrupt_and_foreign_snapshots_are_skipped(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("worker.evals").inc(1)
+        reg.write_state(tmp_path / "metrics-w0.json")
+        (tmp_path / "metrics-w1.json").write_text("{ torn")
+        (tmp_path / "metrics-w2.json").write_text(
+            json.dumps({"format": "something-else", "metrics": []})
+        )
+        merged = merge_worker_metrics(tmp_path)
+        names = {name for name, _, _, _ in merged.series()}
+        assert names == {"worker.evals"}

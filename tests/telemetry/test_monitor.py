@@ -1,0 +1,240 @@
+"""Live monitoring: incremental tail, state folding, HTTP endpoint.
+
+The monitor is exercised exactly the way ``repro watch`` uses it —
+against a run directory whose files grow (and tear, and truncate)
+under it, replayed here deterministically.
+"""
+
+import io
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.monitor import (
+    MonitorState,
+    RunMonitor,
+    serve_metrics,
+    watch,
+)
+
+
+def event_line(name, ts, **fields):
+    return json.dumps({
+        "type": "event", "name": name, "ts": ts, "mono": ts,
+        "fields": fields,
+    }) + "\n"
+
+
+def span_line(name, ts, duration=0.01, **attrs):
+    payload = {
+        "type": "span", "name": name, "id": 1, "parent": None,
+        "depth": 0, "ts": ts, "mono": ts, "duration_s": duration,
+    }
+    if attrs:
+        payload["attrs"] = attrs
+    return json.dumps(payload) + "\n"
+
+
+class TestMonitorState:
+    def test_step_complete_updates_progress(self):
+        state = MonitorState()
+        state.observe(json.loads(event_line(
+            "step_complete", 10.0, step=4, layer="conv1",
+            from_bits=8, to_bits=6, recovered_accuracy=0.8,
+            compression=3.5,
+        )))
+        assert state.status == "running"
+        assert state.step == 4
+        assert state.accuracy == 0.8
+        assert state.compression == 3.5
+        assert state.bit_map == {"conv1": 6.0}
+
+    def test_terminal_events_set_status(self):
+        state = MonitorState()
+        state.observe(json.loads(event_line("run_complete", 1.0)))
+        assert state.status == "complete"
+        state = MonitorState()
+        state.observe(json.loads(event_line("interrupted", 1.0)))
+        assert state.status == "interrupted"
+        state.observe(json.loads(event_line("resumed", 2.0, step=3)))
+        assert state.status == "running" and state.step == 3
+
+    def test_stage_tracked_from_spans(self):
+        state = MonitorState()
+        state.observe(json.loads(span_line("recover", 5.0)))
+        assert state.stage == "recover"
+        assert state.status == "running"
+
+    def test_metrics_snapshot_fills_gauges_and_counters(self):
+        reg = MetricsRegistry()
+        reg.gauge("ccq.accuracy").set(0.9)
+        reg.gauge("ccq.layer_bits", layer="fc").set(4)
+        reg.gauge("hedge.expert_weight", expert="fc").set(0.25)
+        reg.counter("ccq.pool_respawns").inc(2)
+        state = MonitorState()
+        state.update_metrics(reg.snapshot())
+        assert state.accuracy == 0.9
+        assert state.bit_map == {"fc": 4.0}
+        assert state.expert_weights == {"fc": 0.25}
+        assert state.counters["ccq.pool_respawns"] == 2.0
+
+
+class TestRunMonitor:
+    def test_incremental_tail_with_torn_line(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        monitor = RunMonitor(tmp_path)
+        assert monitor.poll() == 0  # no file yet: not an error
+
+        with open(events, "w") as f:
+            f.write(event_line("step_complete", 1.0, step=0))
+            full = event_line("step_complete", 2.0, step=1)
+            f.write(full[: len(full) // 2])  # writer mid-line
+        assert monitor.poll() == 1
+        assert monitor.state.step == 0
+
+        with open(events, "a") as f:
+            f.write(full[len(full) // 2 :])  # the rest arrives
+        assert monitor.poll() == 1
+        assert monitor.state.step == 1
+
+    def test_truncation_resets_the_monitor(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        events.write_text(
+            event_line("step_complete", 1.0, step=7)
+        )
+        monitor = RunMonitor(tmp_path)
+        monitor.poll()
+        assert monitor.state.step == 7
+        # The directory is reused for a fresh run: smaller file.
+        events.write_text(event_line("resumed", 2.0, step=1))
+        monitor.poll()
+        assert monitor.state.step == 1
+        assert monitor.state.events_seen == 1
+
+    def test_metrics_json_polled_and_bad_json_keeps_last_good(
+        self, tmp_path
+    ):
+        reg = MetricsRegistry()
+        reg.gauge("ccq.accuracy").set(0.5)
+        reg.write_json(tmp_path / "metrics.json")
+        monitor = RunMonitor(tmp_path)
+        monitor.poll()
+        assert monitor.state.accuracy == 0.5
+        # A torn snapshot must not clobber the last good state.
+        (tmp_path / "metrics.json").write_text("{ torn")
+        monitor.poll()
+        assert monitor.state.accuracy == 0.5
+        assert monitor.metrics_snapshot  # previous snapshot retained
+
+    def test_replayed_run_reaches_terminal_state(self, tmp_path):
+        """The acceptance check: render live state from a replayed
+        events file."""
+        with open(tmp_path / "events.jsonl", "w") as f:
+            f.write(span_line("initialize", 1.0))
+            f.write(event_line(
+                "step_complete", 2.0, step=0, layer="conv1",
+                from_bits=8, to_bits=4, recovered_accuracy=0.7,
+                compression=2.0,
+            ))
+            f.write(event_line(
+                "fanout_report", 2.5, step=0, attempted=4,
+                completed=4, salvaged=0, requeued=0, respawned=0,
+                quarantined=0, missing=0, degraded=False,
+                deadline_s=2.0, ema_batch_s=0.05,
+            ))
+            f.write(event_line(
+                "run_complete", 3.0, steps=1, accuracy=0.7,
+                compression=2.0,
+            ))
+        monitor = RunMonitor(tmp_path)
+        monitor.poll()
+        panel = monitor.render()
+        assert monitor.state.status == "complete"
+        assert "conv1=4b" in panel
+        assert "status: complete" in panel
+        assert "last round 4/4 ok" in panel
+
+    def test_render_never_raises_on_empty_directory(self, tmp_path):
+        monitor = RunMonitor(tmp_path)
+        monitor.poll()
+        assert "status: waiting" in monitor.render()
+
+
+class TestWatchLoop:
+    def test_once_renders_single_snapshot(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            event_line("step_complete", 1.0, step=2,
+                       recovered_accuracy=0.6, compression=1.5)
+        )
+        out = io.StringIO()
+        state = watch(tmp_path, once=True, stream=out)
+        assert state.step == 2
+        rendered = out.getvalue()
+        assert "step: 2" in rendered
+        assert "\x1b[" not in rendered  # non-tty: no escape codes
+
+    def test_until_complete_exits_on_terminal_event(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            event_line("run_complete", 1.0)
+        )
+        out = io.StringIO()
+        state = watch(
+            tmp_path, interval_s=0.01, follow_until_complete=True,
+            stream=out,
+        )
+        assert state.status == "complete"
+
+    def test_max_seconds_bounds_the_loop(self, tmp_path):
+        out = io.StringIO()
+        watch(tmp_path, interval_s=0.01, max_seconds=0.05, stream=out)
+        assert "status: waiting" in out.getvalue()
+
+
+class TestServeMetrics:
+    @pytest.fixture()
+    def run_dir(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("ccq.steps").inc(3)
+        reg.gauge("ccq.accuracy").set(0.75)
+        reg.write_json(tmp_path / "metrics.json")
+        (tmp_path / "events.jsonl").write_text(
+            event_line("step_complete", 1.0, step=2,
+                       recovered_accuracy=0.75, compression=2.0)
+        )
+        return tmp_path
+
+    def test_metrics_and_state_endpoints(self, run_dir):
+        server = serve_metrics(run_dir, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as resp:
+                text = resp.read().decode()
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain"
+                )
+            assert "ccq_steps 3" in text
+            assert "ccq_accuracy 0.75" in text
+
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/state", timeout=5
+            ) as resp:
+                state = json.load(resp)
+            assert state["step"] == 2
+            assert state["accuracy"] == 0.75
+
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/nope", timeout=5
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
