@@ -1,0 +1,202 @@
+"""Kernel-backend microbenchmarks: measured speedups, asserted bits.
+
+The pluggable backend contract (:mod:`repro.nn.backends`) is that every
+backend is bit-identical to ``reference`` and any speed difference is a
+pure implementation detail.  This benchmark *measures* that difference —
+per-backend forward-conv wall-clock on the headline probe shape, the
+integer-inference conv, and the fused fake-quant conv — and records the
+ratios without asserting them (machines differ; the equivalence tests in
+``tests/nn/test_backends.py`` own the hard guarantees).
+
+Two things ARE asserted, because they are correctness claims rather than
+timing claims:
+  * every backend's output is byte-identical to ``reference`` on every
+    shape timed here (a benchmark that times divergent kernels would be
+    meaningless);
+  * the integer-inference path performs zero float64 im2col work — the
+    column matrices it builds are int64 end to end (the float round-trip
+    this lowering replaced is the bug the PR fixed).
+"""
+
+import time
+
+import numpy as np
+
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.backends import (
+    KernelBackend,
+    available_backends,
+    use_backend,
+)
+from repro.quantization.dorefa import DoReFaWeightQuantizer
+from repro.quantization.integer_inference import AffineCode, integer_conv2d
+
+# (label, x shape, filters, kernel, stride, padding).  The headline row
+# is the CCQ probe workhorse: a mid-network conv at CIFAR resolution.
+CONV_SHAPES = [
+    ("headline-conv3x3", (16, 16, 32, 32), 16, 3, 1, 1),
+    ("first-layer", (16, 3, 32, 32), 16, 3, 1, 1),
+    ("stride2-downsample", (16, 16, 16, 16), 32, 3, 2, 1),
+    ("pointwise", (16, 32, 16, 16), 32, 1, 1, 0),
+]
+
+REPEATS = 7
+WARMUP = 2
+
+
+def _best_of(fn, repeats=REPEATS, warmup=WARMUP):
+    """Min-of-N wall clock: the least-noisy point estimate on a busy
+    single-CPU container."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _conv_inputs(rng, shape_row):
+    _, xshape, filters, kernel, _, _ = shape_row
+    x = Tensor(rng.normal(size=xshape))
+    w = Tensor(rng.normal(size=(filters, xshape[1], kernel, kernel)) * 0.2)
+    b = Tensor(rng.normal(size=(filters,)) * 0.1)
+    return x, w, b
+
+
+def test_kernel_backend_speed(record_result):
+    rng = np.random.default_rng(0)
+    backends = list(available_backends())
+    assert "reference" in backends
+
+    conv_rows = []
+    for row in CONV_SHAPES:
+        label, xshape, filters, kernel, stride, padding = row
+        x, w, b = _conv_inputs(rng, row)
+        times = {}
+        outputs = {}
+        for name in backends:
+            with use_backend(name), no_grad():
+                times[name] = _best_of(
+                    lambda: F.conv2d(x, w, b, stride=stride, padding=padding)
+                )
+                outputs[name] = F.conv2d(
+                    x, w, b, stride=stride, padding=padding
+                ).data
+        for name in backends:
+            # Bit-identity is the backend contract; timing a divergent
+            # kernel would be a category error.
+            np.testing.assert_array_equal(outputs[name], outputs["reference"])
+        conv_rows.append({
+            "shape": label,
+            "x": list(xshape),
+            "filters": filters,
+            "kernel": kernel,
+            "stride": stride,
+            "padding": padding,
+            "seconds": times,
+            "speedup_vs_reference": {
+                name: times["reference"] / times[name] for name in backends
+            },
+        })
+
+    # --- integer-inference conv: exact int64 path, per backend -------
+    x_codes = AffineCode(
+        codes=rng.integers(0, 15, size=(16, 16, 32, 32)).astype(np.int64),
+        scale=0.125, offset=-0.875,
+    )
+    w_codes = AffineCode(
+        codes=rng.integers(0, 7, size=(16, 16, 3, 3)).astype(np.int64),
+        scale=0.25, offset=-0.75,
+    )
+    bias = rng.normal(size=(16,))
+
+    # Spy on every im2col lowering the integer path triggers: the fixed
+    # path must never build a float64 column matrix from codes.
+    im2col_dtypes = []
+    real_im2col = KernelBackend.im2col
+
+    def spying_im2col(self, array, *args, **kwargs):
+        im2col_dtypes.append(np.asarray(array).dtype)
+        return real_im2col(self, array, *args, **kwargs)
+
+    int_times = {}
+    int_outputs = {}
+    KernelBackend.im2col = spying_im2col
+    try:
+        for name in backends:
+            with use_backend(name):
+                int_times[name] = _best_of(
+                    lambda: integer_conv2d(
+                        x_codes, w_codes, bias, stride=1, padding=1
+                    )
+                )
+                int_outputs[name] = integer_conv2d(
+                    x_codes, w_codes, bias, stride=1, padding=1
+                )
+    finally:
+        KernelBackend.im2col = real_im2col
+    for name in backends:
+        np.testing.assert_array_equal(int_outputs[name],
+                                      int_outputs["reference"])
+    assert im2col_dtypes, "integer conv never reached the im2col lowering"
+    float64_cols = sum(1 for d in im2col_dtypes if d.kind == "f")
+    assert float64_cols == 0, (
+        "integer path built a float column matrix — the round-trip bug"
+    )
+
+    # --- fused fake-quant conv vs quantize-then-conv -----------------
+    label, xshape, filters, kernel, stride, padding = CONV_SHAPES[0]
+    x, w, b = _conv_inputs(rng, CONV_SHAPES[0])
+    quantizer = DoReFaWeightQuantizer()
+    quantizer.set_bits(4)
+    fused_rows = {}
+    for name in backends:
+        with use_backend(name), no_grad():
+            unfused_s = _best_of(
+                lambda: F.conv2d(x, quantizer(w), b,
+                                 stride=stride, padding=padding)
+            )
+            fused_s = _best_of(
+                lambda: F.fused_quant_conv2d(x, w, b, quantizer,
+                                             stride=stride, padding=padding)
+            )
+            np.testing.assert_array_equal(
+                F.fused_quant_conv2d(
+                    x, w, b, quantizer, stride=stride, padding=padding
+                ).data,
+                F.conv2d(
+                    x, quantizer(w), b, stride=stride, padding=padding
+                ).data,
+            )
+        fused_rows[name] = {
+            "unfused_s": unfused_s,
+            "fused_s": fused_s,
+            "fused_speedup": unfused_s / fused_s,
+        }
+
+    record_result("BENCH_kernels", {
+        "backends": backends,
+        "repeats": REPEATS,
+        "warmup": WARMUP,
+        "conv_forward": conv_rows,
+        "integer_conv": {
+            "x_codes": list(x_codes.codes.shape),
+            "w_codes": list(w_codes.codes.shape),
+            "seconds": int_times,
+            "speedup_vs_reference": {
+                name: int_times["reference"] / int_times[name]
+                for name in backends
+            },
+            "im2col_dtypes_seen": sorted(
+                {str(d) for d in im2col_dtypes}
+            ),
+            "float64_im2col_calls": float64_cols,
+        },
+        "fused_quant_conv": {
+            "shape": label,
+            "per_backend": fused_rows,
+        },
+    })

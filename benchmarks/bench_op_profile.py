@@ -20,6 +20,7 @@ Shape claims checked:
 
 import numpy as np
 
+from repro.nn.backends import available_backends, use_backend
 from repro.telemetry.profiler import profile_model
 
 
@@ -69,6 +70,26 @@ def test_op_profile_hot_paths(get_task, record_result):
             for s in profiler.sorted_ops()
         ]
 
+    # Per-kernel-backend inference profile: the backend contract keeps
+    # the op inventory (and every output byte) identical, so the only
+    # thing allowed to move between rows is wall-clock.  Recorded per
+    # backend so BENCH_trajectory.json tracks where kernel time goes.
+    backend_rows = {}
+    for backend_name in available_backends():
+        with use_backend(backend_name):
+            prof = _profile(task, train=False)
+        assert counts(prof) == counts(inference), backend_name
+        backend_rows[backend_name] = {
+            "total_s": prof.total_s,
+            "kernels": [
+                {
+                    "backend": k.backend, "kernel": k.kernel,
+                    "calls": k.calls, "total_s": k.total_s,
+                }
+                for k in prof.sorted_kernels()
+            ],
+        }
+
     record_result("BENCH_op_profile", {
         "task": task.name,
         "scale": task.scale.name,
@@ -86,4 +107,5 @@ def test_op_profile_hot_paths(get_task, record_result):
             "total_flops": train.total_flops,
             "ops": op_rows(train),
         },
+        "kernel_backends": backend_rows,
     })

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Prove the pluggable kernel backend is bit-identical and not slower,
+# end to end:
+#
+#   1. the backend equivalence + integer-lowering test suites
+#   2. a headline-shape conv timing check: the fast backend must not be
+#      slower than reference (min-of-N on the probe workhorse shape)
+#   3. two micro-scale CCQ runs through the CLI — --kernel-backend
+#      reference vs fast — whose reported trajectories must match
+#      key for key
+#
+# Finishes in a few minutes on one CPU.
+#
+#   bash scripts/verify_kernels.sh [workdir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+echo "== 1/3 backend equivalence + integer-lowering tests =="
+python3 -m pytest tests/nn/test_backends.py \
+    tests/quantization/test_integer_inference.py \
+    tests/core/test_backend_invariance.py -q
+
+echo "== 2/3 headline conv shape: fast must not be slower =="
+python3 - <<'EOF'
+import time
+
+import numpy as np
+
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.backends import use_backend
+
+rng = np.random.default_rng(0)
+x = Tensor(rng.normal(size=(16, 16, 32, 32)))
+w = Tensor(rng.normal(size=(16, 16, 3, 3)) * 0.2)
+b = Tensor(rng.normal(size=(16,)) * 0.1)
+
+
+def best_of(name, repeats=9, warmup=2):
+    with use_backend(name), no_grad():
+        for _ in range(warmup):
+            F.conv2d(x, w, b, padding=1)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            F.conv2d(x, w, b, padding=1)
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+ref = best_of("reference")
+fast = best_of("fast")
+print(f"reference {ref * 1e3:.3f} ms   fast {fast * 1e3:.3f} ms   "
+      f"speedup {ref / fast:.3f}x")
+# 5% slack absorbs scheduler noise on a loaded single-CPU box; a real
+# regression (fast slower by design) blows well past it.
+if fast > ref * 1.05:
+    raise SystemExit("fast backend is slower than reference on the "
+                     "headline conv shape")
+EOF
+
+echo "== 3/3 CCQ trajectory identical across --kernel-backend =="
+COMMON=(run-ccq --task resnet20_cifar10 --scale micro --probes 6
+        --max-steps 4 --seed 0)
+
+python3 -m repro.cli "${COMMON[@]}" --kernel-backend reference \
+    --output "$WORK/reference.json"
+python3 -m repro.cli "${COMMON[@]}" --kernel-backend fast \
+    --output "$WORK/fast.json"
+
+python3 - "$WORK/reference.json" "$WORK/fast.json" <<'EOF'
+import json
+import sys
+
+reference, fast = (json.load(open(path)) for path in sys.argv[1:3])
+
+mismatches = [
+    key for key in ("bit_config", "final_accuracy", "compression",
+                    "probe_rounds", "probe_forward_passes",
+                    "probe_cache_hits")
+    if reference[key] != fast[key]
+]
+if mismatches:
+    for key in mismatches:
+        print(f"MISMATCH {key}: reference={reference[key]!r} "
+              f"fast={fast[key]!r}")
+    sys.exit(1)
+
+print(f"OK: identical trajectory under --kernel-backend fast "
+      f"(bit config {reference['bit_config']}, "
+      f"accuracy {reference['final_accuracy']})")
+EOF

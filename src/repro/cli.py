@@ -18,7 +18,8 @@ Commands
     Run the deterministic op-level profiler over forward (optionally
     forward+backward) passes of a task model and print per-op
     wall-clock, call counts, FLOPs and bytes-moved estimates plus the
-    im2col scratch-arena high-water mark.
+    scratch-arena high-water mark and the per-backend kernel table
+    (``--kernel-backend`` selects which backend's kernels run).
 
 ``watch``
     Live-monitor an in-progress ``run-ccq --telemetry-dir`` run by
@@ -56,6 +57,7 @@ from .core import (
     RecoveryConfig,
 )
 from .experiments import SCALES, TASK_NAMES, build_task
+from .nn.backends import available_backends, set_default_backend
 from .hardware import NODE_32NM, NODE_32NM_SYNTH, mac_energy_pj, network_power
 from .quantization import available_policies
 from .telemetry import (
@@ -160,6 +162,9 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    # Selected before any model/quantizer construction so fork-based
+    # probe workers inherit the same backend.
+    set_default_backend(args.kernel_backend)
     telemetry = _make_telemetry(args)
     log = telemetry.logger
     try:
@@ -303,6 +308,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from .telemetry.profiler import profile_model
 
+    set_default_backend(args.kernel_backend)
     task = build_task(args.task, scale=args.scale)
     model = task.make_model()
     if args.policy:
@@ -444,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
              "verification and benchmarking)",
     )
     p_run.add_argument(
+        "--kernel-backend", default="reference",
+        choices=available_backends(),
+        help="compute-kernel backend for every repro.nn op (default: "
+             "reference).  Trajectory-invariant (fingerprint-excluded): "
+             "all backends are bit-identical, so this only changes "
+             "speed",
+    )
+    p_run.add_argument(
         "--prefetch", action="store_true",
         help="assemble training batches one batch ahead on a "
              "background thread during collaboration (RNG-neutral for "
@@ -509,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", type=int, default=1,
         help="un-measured warmup passes so one-time scratch "
              "allocation does not skew the numbers (default: 1)",
+    )
+    p_prof.add_argument(
+        "--kernel-backend", default="reference",
+        choices=available_backends(),
+        help="compute-kernel backend to profile (default: reference); "
+             "the per-kernel table in the output is keyed by this name",
     )
     p_prof.add_argument("--json", help="also write the summary JSON here")
     p_prof.set_defaults(func=_cmd_profile)

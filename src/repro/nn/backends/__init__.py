@@ -1,0 +1,123 @@
+"""``repro.nn.backends`` — pluggable compute kernels for the substrate.
+
+A *kernel backend* supplies every low-level kernel the ``repro.nn`` op
+set dispatches to: conv2d forward/backward, im2col/col2im, float GEMM,
+pooling, the integer-native im2col/GEMM pair used by
+:mod:`repro.quantization.integer_inference`, and the fused
+fake-quant + conv forward.  Two backends ship:
+
+``reference``
+    The plain numpy kernels (the default) — the bit-identity ground
+    truth every other backend is validated against.
+
+``fast``
+    Arena-padded im2col and a panel-blocked einsum integer GEMM; every
+    optimization measured on this substrate and byte-identical to
+    ``reference`` (see :mod:`.fast`).
+
+Selecting a backend (:func:`set_default_backend`, :func:`use_backend`,
+or ``--kernel-backend`` on the CLI) is **trajectory-invariant**: all
+backends produce bit-identical arrays, so the knob is excluded from the
+CCQ checkpoint fingerprint exactly like ``probe_workers``.  The tests
+in ``tests/nn/test_backends.py`` and
+``tests/core/test_backend_invariance.py`` enforce the contract; see
+``docs/kernels.md`` for the interface and how to register a backend.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+from .arena import ScratchArena
+from .base import KernelBackend, kernel
+from .fast import FastBackend
+from .reference import ReferenceBackend
+
+__all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "ScratchArena",
+    "kernel",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "current",
+    "set_default_backend",
+    "use_backend",
+]
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_DEFAULT_NAME = "reference"
+
+
+def register_backend(
+    backend: KernelBackend, overwrite: bool = False
+) -> KernelBackend:
+    """Register a backend instance under its ``name``.
+
+    A registered backend must be bit-identical to ``reference`` on
+    every kernel — run ``tests/nn/test_backends.py`` (the equivalence
+    suite parametrizes over the registry, so a new backend is covered
+    just by being registered).
+    """
+    name = backend.name
+    if not name or name == "base":
+        raise ValueError(
+            f"backend {backend!r} must define a registry name"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise KeyError(
+            f"unknown kernel backend {name!r} (available: {known})"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def current() -> KernelBackend:
+    """The backend new ops dispatch through."""
+    return _REGISTRY[_DEFAULT_NAME]
+
+
+def set_default_backend(name: str) -> str:
+    """Select the process-wide default backend; returns the previous
+    name so callers can restore it.
+
+    In-flight autograd graphs are unaffected: each op's context pins
+    the backend that ran its forward, so its backward runs on the same
+    kernels even if the default changes in between.
+    """
+    global _DEFAULT_NAME
+    get_backend(name)  # validate before switching
+    previous = _DEFAULT_NAME
+    _DEFAULT_NAME = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily select ``name`` as the default backend."""
+    previous = set_default_backend(name)
+    try:
+        yield current()
+    finally:
+        set_default_backend(previous)
+
+
+register_backend(ReferenceBackend())
+register_backend(FastBackend())

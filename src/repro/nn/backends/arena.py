@@ -1,0 +1,106 @@
+"""Scratch-buffer arena: keyed, LRU-evicting transient-array reuse.
+
+The im2col column matrix is the largest transient a conv forward
+allocates, and evaluation loops (the CCQ probe engine especially) run
+the same conv shapes batch after batch.  The arena keeps one buffer per
+``(shape, dtype, tag)`` key and hands the same memory back on the next
+same-key request, so steady-state inference allocates nothing.
+
+Eviction is LRU *per entry*: when the capacity is reached, only the
+least-recently-used buffer is dropped.  (The predecessor of this arena
+— ``_im2col_scratch`` in :mod:`repro.nn.functional` — cleared the whole
+cache on overflow, so any workload cycling through more shapes than the
+cap reallocated every buffer every pass.)
+
+Reuse is only legal when the previous same-key result has already been
+consumed — in practice, the autograd-off conv fast path, where nothing
+retains the column matrix past the GEMM.  Callers in grad mode must not
+request arena buffers for arrays that a backward pass will read later.
+
+Profiler integration: a fresh allocation notifies the active op
+profiler (:func:`repro.nn.autograd.active_profiler`) with the buffer
+size and the arena's new total, which is how ``repro profile`` derives
+its scratch high-water mark.  Reused buffers move no new memory and are
+not reported.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """LRU cache of reusable ndarrays keyed by ``(shape, dtype, tag)``."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffers: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        # Lifetime counters (monotonic; survive clear()).
+        self.allocations = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def get(
+        self,
+        shape: Tuple[int, ...],
+        dtype: "np.dtype | type",
+        tag: Hashable = None,
+        zero_on_alloc: bool = False,
+    ) -> np.ndarray:
+        """A buffer of ``shape``/``dtype``, reused across same-key calls.
+
+        The buffer's contents are whatever the previous user left there;
+        callers must fully overwrite it — or, with ``zero_on_alloc``,
+        may rely on cells they never write staying zero (fresh buffers
+        are zero-filled; reused ones carry the previous call's writes,
+        which for a single-writer key is exactly the invariant wanted).
+        ``tag`` separates buffers that share a shape but must not alias
+        (e.g. a column matrix and a padded-input buffer of
+        coincidentally equal size).
+        """
+        dtype = np.dtype(dtype)
+        key = (tuple(shape), dtype.str, tag)
+        buf = self._buffers.get(key)
+        if buf is not None:
+            self.hits += 1
+            self._buffers.move_to_end(key)
+            return buf
+        while len(self._buffers) >= self.capacity:
+            # Evict exactly the least-recently-used entry; everything
+            # still hot stays resident.
+            self._buffers.popitem(last=False)
+            self.evictions += 1
+        buf = (np.zeros if zero_on_alloc else np.empty)(shape, dtype=dtype)
+        self._buffers[key] = buf
+        self.allocations += 1
+        self._notify_profiler(buf.nbytes)
+        return buf
+
+    def _notify_profiler(self, nbytes: int) -> None:
+        from .. import autograd  # local import: autograd imports nothing from here
+
+        profiler = autograd.active_profiler()
+        if profiler is not None:
+            # High-water accounting: fresh allocations only (a reused
+            # buffer moves no new memory), with the arena total taken
+            # *after* any eviction so the mark reflects live bytes.
+            profiler.note_scratch(nbytes, self.total_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held by live buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (counters are lifetime and survive)."""
+        self._buffers.clear()

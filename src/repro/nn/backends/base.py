@@ -1,0 +1,420 @@
+"""The kernel-backend interface and its reference numpy kernels.
+
+A :class:`KernelBackend` bundles every compute kernel the ``repro.nn``
+op set bottoms out in — conv2d forward/backward, the im2col/col2im
+lowering pair, float GEMM, pooling, and the integer-native kernels the
+integer-inference path runs on (:mod:`repro.quantization
+.integer_inference`).  :mod:`repro.nn.functional` dispatches each
+``Function`` through the currently selected backend (see the package
+``__init__`` for the registry), so swapping a backend swaps the whole
+substrate's kernels at once.
+
+The contract every backend must satisfy — and the reason this base
+class *is* the reference implementation — is **bit-identity**: a
+registered backend must produce byte-for-byte the same arrays as
+``reference`` for every kernel, forward and backward.  The CCQ
+trajectory tests assert exactly that (mirroring the worker-count
+invariance contract of the parallel probe pool).  Bit-identity on this
+substrate is narrower than mathematical equality:
+
+* **Float GEMM must stay one ``np.matmul`` call on identically shaped,
+  identically laid-out operands.**  BLAS picks different micro-kernels
+  (and therefore different summation orders) for different shapes,
+  transposes and blockings, so transposed formulations, ``einsum``
+  routes and row-paneled accumulation all produce ULP-level
+  divergences.  ``gemm`` is final in spirit: fast backends may not
+  re-block it.
+* **Integer kernels may be regrouped freely.**  int64 addition is
+  exact, so cache-blocked panels and alternative inner loops are legal
+  for ``int_gemm`` — that is where a fast backend earns its integer
+  speedup.
+* **Data movement is always legal.**  Any im2col strategy that fills
+  the identical column matrix (same layout, same dtype) is safe by
+  construction, as is reusing scratch buffers for arrays nothing
+  retains.
+
+Every kernel entry point is timed into the active op profiler's
+per-kernel table (:meth:`repro.telemetry.profiler.OpProfiler
+.record_kernel`) when one is installed.  Composite kernels
+(``conv2d_forward``) call leaf kernels (``im2col``, ``gemm``), so their
+recorded times overlap — the table reads as a call tree flattened per
+kernel, not as disjoint buckets.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, Tuple, TypeVar
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..autograd import Context, active_profiler, is_grad_enabled
+from .arena import ScratchArena
+
+__all__ = ["KernelBackend", "kernel"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def kernel(fn: _F) -> _F:
+    """Mark a backend method as a kernel entry point.
+
+    When an op profiler is installed the call is timed and recorded
+    under ``(backend.name, kernel name)``; with no profiler the wrapper
+    is a single attribute load plus a ``None`` check.
+    """
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def timed(self: "KernelBackend", *args: Any, **kwargs: Any) -> Any:
+        profiler = active_profiler()
+        record = getattr(profiler, "record_kernel", None)
+        if record is None:
+            return fn(self, *args, **kwargs)
+        start = time.perf_counter()
+        out = fn(self, *args, **kwargs)
+        record(self.name, name, time.perf_counter() - start)
+        return out
+
+    return timed  # type: ignore[return-value]
+
+
+class KernelBackend:
+    """Base backend: the reference numpy kernels, extracted verbatim
+    from the pre-backend :mod:`repro.nn.functional`.
+
+    Subclasses override individual kernels (``FastBackend`` overrides
+    ``im2col`` and ``int_gemm``); anything not overridden runs the
+    reference implementation, which keeps the bit-identity contract
+    trivially satisfied for untouched kernels.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "base"
+
+    def __init__(self, scratch_capacity: int = 16) -> None:
+        # Per-backend scratch arena (LRU): column matrices and padded
+        # input buffers on the inference path live here.
+        self.arena = ScratchArena(capacity=scratch_capacity)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    # -- lowering -------------------------------------------------------
+
+    @kernel
+    def im2col(
+        self,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+        reuse_scratch: bool = False,
+    ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Lower a padded NCHW batch into a ``(N*OH*OW, C*KH*KW)`` matrix.
+
+        Returns the column matrix together with the output spatial
+        size.  With ``reuse_scratch`` the column matrix lives in the
+        backend's arena and the next same-shape call overwrites it;
+        only pass it when the result is consumed before the next
+        lowering (the no-grad conv fast path).
+        """
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        n, c, h, w = x.shape
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        # windows: (N, C, H-kh+1, W-kw+1, KH, KW) then stride-sliced.
+        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        windows = windows.transpose(0, 2, 3, 1, 4, 5)
+        if reuse_scratch:
+            cols = self.arena.get(
+                (n * oh * ow, c * kh * kw), x.dtype, tag="im2col"
+            )
+            np.copyto(cols.reshape(windows.shape), windows)
+            return cols, (oh, ow)
+        cols = windows.reshape(n * oh * ow, c * kh * kw)
+        return np.ascontiguousarray(cols), (oh, ow)
+
+    @kernel
+    def col2im(
+        self,
+        dcols: np.ndarray,
+        x_shape: Tuple[int, int, int, int],
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+        out_size: Tuple[int, int],
+    ) -> np.ndarray:
+        """Scatter-add column gradients back into an input-shaped array.
+
+        The kh*kw accumulation loop fixes the float addition order for
+        overlapping windows; backends must not reorder it.
+        """
+        n, c, h, w = x_shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = out_size
+        dxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=dcols.dtype)
+        # (N*OH*OW, C*KH*KW) -> (N, OH, OW, C, KH, KW) -> (N, C, KH, KW, OH, OW)
+        d6 = dcols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+        for i in range(kh):
+            for j in range(kw):
+                dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += d6[
+                    :, :, i, j
+                ]
+        if ph or pw:
+            return dxp[:, :, ph : ph + h, pw : pw + w]
+        return dxp
+
+    # -- GEMM -----------------------------------------------------------
+
+    @kernel
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Float matrix product ``a @ b``.
+
+        One ``np.matmul`` call, always: BLAS's summation order depends
+        on operand shapes and layouts, so any re-blocking or transposed
+        reformulation breaks bit-identity (see the module docstring).
+        """
+        return a @ b
+
+    @kernel
+    def int_gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Integer matrix product ``a @ b`` with exact int64 accumulation.
+
+        Unlike :meth:`gemm`, integer addition is exact under
+        regrouping, so subclasses may block or re-dispatch this kernel
+        freely — results are equal as *integers*, not merely as floats.
+        """
+        return a @ b
+
+    # -- convolution ----------------------------------------------------
+
+    @kernel
+    def conv2d_forward(
+        self,
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        f, c, kh, kw = weight.shape
+        # The scratch column buffer may only be recycled when no backward
+        # pass will read it; in grad mode ctx.save keeps it alive.
+        cols, (oh, ow) = self.im2col(
+            x, (kh, kw), stride, padding,
+            reuse_scratch=not is_grad_enabled(),
+        )
+        w_flat = weight.reshape(f, -1)
+        out = self.gemm(cols, w_flat.T)
+        if bias is not None:
+            out += bias
+        n = x.shape[0]
+        ctx.save(
+            self, cols, w_flat, x.shape, weight.shape, stride, padding,
+            (oh, ow),
+        )
+        return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+
+    @kernel
+    def conv2d_backward(self, ctx: Context, grad: np.ndarray):
+        (
+            _backend, cols, w_flat, x_shape, w_shape, stride, padding,
+            out_size,
+        ) = ctx.saved
+        f = w_shape[0]
+        # (N, F, OH, OW) -> (N*OH*OW, F)
+        g = grad.transpose(0, 2, 3, 1).reshape(-1, f)
+        dx = None
+        dw = None
+        db = None
+        if ctx.needs_input_grad[0]:
+            dcols = self.gemm(g, w_flat)
+            dx = self.col2im(
+                dcols, x_shape, w_shape[2:], stride, padding, out_size
+            )
+        if ctx.needs_input_grad[1]:
+            dw = self.gemm(g.T, cols).reshape(w_shape)
+        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
+            db = g.sum(axis=0)
+        if ctx.needs_input_grad[2:]:
+            return dx, dw, db
+        return dx, dw
+
+    @kernel
+    def fused_quant_conv2d(
+        self,
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        quantizer: Any,
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        """Fake-quantize ``weight`` and convolve, as one dispatched op.
+
+        Inference-only: the quantized weight is a transient ndarray —
+        never wrapped in a Tensor, never cached, never recorded on a
+        tape — so the op shows up as a single profiled dispatch instead
+        of a quantize chain plus a conv.  Numerically this is the exact
+        unfused computation: ``quantizer.quantize_array`` routes
+        through the same quantizer math as the Tensor path.
+        """
+        wq = quantizer.quantize_array(weight)
+        return self.conv2d_forward(ctx, x, wq, bias, stride, padding)
+
+    # -- integer-native lowering (integer_inference) --------------------
+
+    @kernel
+    def int_im2col(
+        self,
+        codes: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple[int, int]]:
+        """Integer im2col: int64 end to end, no float transport.
+
+        Returns ``(cols, spatial_mask, (oh, ow))``:
+
+        * ``cols`` — the ``(N*OH*OW, C*KH*KW)`` int64 column matrix.
+          Zero padding naturally lands as code 0, which contributes
+          nothing to code sums (the offset corrections ride on the
+          mask).
+        * ``spatial_mask`` — ``(OH*OW, KH*KW)`` int64 validity mask
+          (1 = the kernel cell reads a real input element, 0 = it reads
+          padding).  Validity only depends on spatial geometry, so one
+          ``(OH*OW, KH*KW)`` mask replaces the per-sample, per-channel
+          ``(N*OH*OW, C*KH*KW)`` mask the old float path materialized.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        n, c, h, w = codes.shape
+        cols, (oh, ow) = self.im2col(codes, kernel, stride, padding)
+        ones = np.ones((1, 1, h, w), dtype=np.int64)
+        spatial_mask, _ = self.im2col(ones, kernel, stride, padding)
+        return cols, spatial_mask, (oh, ow)
+
+    # -- pooling --------------------------------------------------------
+
+    @kernel
+    def max_pool2d_forward(
+        self,
+        ctx: Context,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        if ph or pw:
+            x = np.pad(
+                x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                constant_values=-np.inf,
+            )
+        n, c, h, w = x.shape
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        flat = windows.reshape(n, c, oh, ow, kh * kw)
+        arg = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        ctx.save(self, arg, (n, c, h, w), kernel, stride, (ph, pw), (oh, ow))
+        return out
+
+    @kernel
+    def max_pool2d_backward(self, ctx: Context, grad: np.ndarray):
+        (
+            _backend, arg, padded_shape, kernel, stride, padding, out_size,
+        ) = ctx.saved
+        n, c, h, w = padded_shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = out_size
+        dxp = np.zeros(padded_shape, dtype=grad.dtype)
+        ki, kj = np.unravel_index(arg, (kh, kw))
+        oi = np.arange(oh)[None, None, :, None] * sh
+        oj = np.arange(ow)[None, None, None, :] * sw
+        rows = (oi + ki).ravel()
+        cols = (oj + kj).ravel()
+        ni = np.repeat(np.arange(n), c * oh * ow)
+        ci = np.tile(np.repeat(np.arange(c), oh * ow), n)
+        np.add.at(dxp, (ni, ci, rows, cols), grad.ravel())
+        if ph or pw:
+            return (dxp[:, :, ph : h - ph, pw : w - pw],)
+        return (dxp,)
+
+    @kernel
+    def avg_pool2d_forward(
+        self,
+        ctx: Context,
+        x: np.ndarray,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        if not (ph or pw):
+            windows = sliding_window_view(
+                x, (kh, kw), axis=(2, 3)
+            )[:, :, ::sh, ::sw]
+            out = windows.mean(axis=(-1, -2))
+            ctx.save(self, x.shape, kernel, stride, padding,
+                     out.shape[2:], None)
+            return out
+        # Zero-padded average with the divisor counting only real input
+        # cells (torch's count_include_pad=False): an edge window
+        # averages the values it actually covers, so a constant input
+        # pools to the same constant everywhere.
+        n, c, h, w = x.shape
+        xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        windows = sliding_window_view(
+            xp, (kh, kw), axis=(2, 3)
+        )[:, :, ::sh, ::sw]
+        ones = np.ones((h, w), dtype=x.dtype)
+        ones = np.pad(ones, ((ph, ph), (pw, pw)))
+        counts = sliding_window_view(ones, (kh, kw))[::sh, ::sw].sum(
+            axis=(-1, -2)
+        )
+        out = windows.sum(axis=(-1, -2)) / counts
+        ctx.save(self, x.shape, kernel, stride, padding, out.shape[2:],
+                 counts)
+        return out
+
+    @kernel
+    def avg_pool2d_backward(self, ctx: Context, grad: np.ndarray):
+        (
+            _backend, x_shape, kernel, stride, padding, out_size, counts,
+        ) = ctx.saved
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        oh, ow = out_size
+        if counts is None:
+            dx = np.zeros(x_shape, dtype=grad.dtype)
+            g = grad / (kh * kw)
+            for i in range(kh):
+                for j in range(kw):
+                    dx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
+            return (dx,)
+        n, c, h, w = x_shape
+        dxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=grad.dtype)
+        g = grad / counts
+        for i in range(kh):
+            for j in range(kw):
+                dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
+        return (dxp[:, :, ph : ph + h, pw : pw + w],)

@@ -1,0 +1,19 @@
+"""The ``reference`` backend: the unmodified numpy kernels.
+
+This is :class:`~repro.nn.backends.base.KernelBackend` with a name —
+the base class *is* the reference implementation, extracted verbatim
+from the pre-backend :mod:`repro.nn.functional`.  Every other backend
+is validated bit-for-bit against this one.
+"""
+
+from __future__ import annotations
+
+from .base import KernelBackend
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Plain numpy kernels; the bit-identity ground truth."""
+
+    name = "reference"

@@ -6,21 +6,28 @@ strategy); pooling and the fused softmax-cross-entropy loss are dedicated
 speed.  ``round_ste`` / ``floor_ste`` provide the straight-through
 estimators that every quantization policy in :mod:`repro.quantization`
 builds on.
+
+The compute kernels themselves (im2col/col2im, GEMM, pooling) live in
+:mod:`repro.nn.backends`; each ``Function`` here dispatches its forward
+through the currently selected backend and pins that backend in its
+context so the backward runs on the same kernels.  All backends are
+bit-identical (see the backends package docstring), so selection never
+changes results — only speed.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
-from . import autograd
+from . import backends
 from .autograd import Context, Function, is_grad_enabled
 from .tensor import Tensor, as_tensor
 
 __all__ = [
     "conv2d",
+    "fused_quant_conv2d",
     "linear",
     "max_pool2d",
     "avg_pool2d",
@@ -52,35 +59,6 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
-# Inference-mode scratch: the im2col column matrix is by far the largest
-# transient a conv forward allocates.  Evaluation loops (the CCQ probe
-# engine especially) run the same conv shapes batch after batch, so the
-# column buffer is kept and rewritten in place instead of reallocated.
-# Reuse is ONLY legal when autograd is off — in grad mode the buffer is
-# stashed in the op's context for the backward pass and must stay alive.
-_IM2COL_SCRATCH: dict = {}
-_IM2COL_SCRATCH_CAP = 16
-
-
-def _im2col_scratch(shape: Tuple[int, int], dtype: np.dtype) -> np.ndarray:
-    key = (shape, dtype.str)
-    buf = _IM2COL_SCRATCH.get(key)
-    if buf is None:
-        if len(_IM2COL_SCRATCH) >= _IM2COL_SCRATCH_CAP:
-            _IM2COL_SCRATCH.clear()
-        buf = np.empty(shape, dtype=dtype)
-        _IM2COL_SCRATCH[key] = buf
-        profiler = autograd.active_profiler()
-        if profiler is not None:
-            # Arena high-water accounting: fresh allocations only (a
-            # reused buffer moves no new memory).
-            profiler.note_scratch(
-                buf.nbytes,
-                sum(b.nbytes for b in _IM2COL_SCRATCH.values()),
-            )
-    return buf
-
-
 def im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -90,29 +68,14 @@ def im2col(
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Lower a padded NCHW batch into a ``(N*OH*OW, C*KH*KW)`` matrix.
 
-    Returns the column matrix together with the output spatial size.
-    With ``reuse_scratch`` the column matrix lives in a shared
-    per-shape scratch buffer that the next same-shape call overwrites;
-    only pass it when the result is consumed before the next lowering
-    (the no-grad conv fast path).
+    Delegates to the current kernel backend
+    (:func:`repro.nn.backends.current`); kept as a module-level
+    function because the lowering is part of the public testing
+    surface (the adjoint property tests exercise it directly).
     """
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    n, c, h, w = x.shape
-    oh = (h - kh) // sh + 1
-    ow = (w - kw) // sw + 1
-    # windows: (N, C, H-kh+1, W-kw+1, KH, KW) then stride-sliced.
-    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-    windows = windows.transpose(0, 2, 3, 1, 4, 5)
-    if reuse_scratch:
-        cols = _im2col_scratch((n * oh * ow, c * kh * kw), x.dtype)
-        np.copyto(cols.reshape(windows.shape), windows)
-        return cols, (oh, ow)
-    cols = windows.reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), (oh, ow)
+    return backends.current().im2col(
+        x, kernel, stride, padding, reuse_scratch=reuse_scratch
+    )
 
 
 def _col2im(
@@ -124,20 +87,9 @@ def _col2im(
     out_size: Tuple[int, int],
 ) -> np.ndarray:
     """Scatter-add column gradients back into an input-shaped array."""
-    n, c, h, w = x_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    oh, ow = out_size
-    dxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=dcols.dtype)
-    # (N*OH*OW, C*KH*KW) -> (N, OH, OW, C, KH, KW) -> (N, C, KH, KW, OH, OW)
-    d6 = dcols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    for i in range(kh):
-        for j in range(kw):
-            dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += d6[:, :, i, j]
-    if ph or pw:
-        return dxp[:, :, ph : ph + h, pw : pw + w]
-    return dxp
+    return backends.current().col2im(
+        dcols, x_shape, kernel, stride, padding, out_size
+    )
 
 
 class _Conv2d(Function):
@@ -150,42 +102,16 @@ class _Conv2d(Function):
         stride: Tuple[int, int],
         padding: Tuple[int, int],
     ) -> np.ndarray:
-        f, c, kh, kw = weight.shape
-        # The scratch column buffer may only be recycled when no backward
-        # pass will read it; in grad mode ctx.save keeps it alive.
-        cols, (oh, ow) = im2col(
-            x, (kh, kw), stride, padding,
-            reuse_scratch=not is_grad_enabled(),
+        return backends.current().conv2d_forward(
+            ctx, x, weight, bias, stride, padding
         )
-        w_flat = weight.reshape(f, -1)
-        out = cols @ w_flat.T
-        if bias is not None:
-            out += bias
-        n = x.shape[0]
-        ctx.save(cols, w_flat, x.shape, weight.shape, stride, padding, (oh, ow))
-        return out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        cols, w_flat, x_shape, w_shape, stride, padding, out_size = ctx.saved
-        f = w_shape[0]
-        # (N, F, OH, OW) -> (N*OH*OW, F)
-        g = grad.transpose(0, 2, 3, 1).reshape(-1, f)
-        dx = None
-        dw = None
-        db = None
-        if ctx.needs_input_grad[0]:
-            dcols = g @ w_flat
-            dx = _col2im(
-                dcols, x_shape, w_shape[2:], stride, padding, out_size
-            )
-        if ctx.needs_input_grad[1]:
-            dw = (g.T @ cols).reshape(w_shape)
-        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
-            db = g.sum(axis=0)
-        if ctx.needs_input_grad[2:]:
-            return dx, dw, db
-        return dx, dw
+        # The backend that ran the forward is pinned as the first saved
+        # value, so a default-backend switch mid-graph cannot mix
+        # kernels within one op.
+        return ctx.saved[0].conv2d_backward(ctx, grad)
 
 
 def conv2d(
@@ -220,6 +146,60 @@ class _Conv2dNoBias(Function):
         return dx, dw
 
 
+class _FusedQuantConv2d(Function):
+    """Fake-quantize the weight and convolve as one dispatched op."""
+
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        quantizer: Any,
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        return backends.current().fused_quant_conv2d(
+            ctx, x, weight, bias, quantizer, stride, padding
+        )
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        raise RuntimeError(
+            "fused_quant_conv2d is inference-only; training needs the "
+            "quantizer's STE graph — quantize the weight as a Tensor op "
+            "and call conv2d instead"
+        )
+
+
+def fused_quant_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    quantizer: Any,
+    stride: _IntPair = 1,
+    padding: _IntPair = 0,
+) -> Tensor:
+    """Inference-only conv with the weight fake-quantized in the kernel.
+
+    Numerically identical to ``conv2d(x, quantizer(weight), bias)`` but
+    the quantized weight stays a transient ndarray inside the kernel —
+    no Tensor wrapper, no tape traffic, no cache entry — so the whole
+    thing is one profiled dispatch.  ``quantizer`` must expose
+    ``quantize_array`` (every
+    :class:`~repro.quantization.base.WeightQuantizer` does).
+    """
+    if is_grad_enabled():
+        raise RuntimeError(
+            "fused_quant_conv2d is inference-only; wrap the call in "
+            "no_grad() or use quantizer(weight) + conv2d when training"
+        )
+    return _FusedQuantConv2d.apply(
+        x, weight, bias,
+        quantizer=quantizer, stride=_pair(stride), padding=_pair(padding),
+    )
+
+
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` (weight is ``(out, in)``)."""
     out = x @ weight.T
@@ -237,43 +217,13 @@ class _MaxPool2d(Function):
         stride: Tuple[int, int],
         padding: Tuple[int, int],
     ) -> np.ndarray:
-        kh, kw = kernel
-        sh, sw = stride
-        ph, pw = padding
-        if ph or pw:
-            x = np.pad(
-                x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf
-            )
-        n, c, h, w = x.shape
-        oh = (h - kh) // sh + 1
-        ow = (w - kw) // sw + 1
-        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-        flat = windows.reshape(n, c, oh, ow, kh * kw)
-        arg = flat.argmax(axis=-1)
-        out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-        ctx.save(arg, (n, c, h, w), kernel, stride, (ph, pw), (oh, ow))
-        return out
+        return backends.current().max_pool2d_forward(
+            ctx, x, kernel, stride, padding
+        )
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        arg, padded_shape, kernel, stride, padding, out_size = ctx.saved
-        n, c, h, w = padded_shape
-        kh, kw = kernel
-        sh, sw = stride
-        ph, pw = padding
-        oh, ow = out_size
-        dxp = np.zeros(padded_shape, dtype=grad.dtype)
-        ki, kj = np.unravel_index(arg, (kh, kw))
-        oi = np.arange(oh)[None, None, :, None] * sh
-        oj = np.arange(ow)[None, None, None, :] * sw
-        rows = (oi + ki).ravel()
-        cols = (oj + kj).ravel()
-        ni = np.repeat(np.arange(n), c * oh * ow)
-        ci = np.tile(np.repeat(np.arange(c), oh * ow), n)
-        np.add.at(dxp, (ni, ci, rows, cols), grad.ravel())
-        if ph or pw:
-            return (dxp[:, :, ph : h - ph, pw : w - pw],)
-        return (dxp,)
+        return ctx.saved[0].max_pool2d_backward(ctx, grad)
 
 
 def max_pool2d(
@@ -293,35 +243,33 @@ class _AvgPool2d(Function):
         x: np.ndarray,
         kernel: Tuple[int, int],
         stride: Tuple[int, int],
+        padding: Tuple[int, int],
     ) -> np.ndarray:
-        kh, kw = kernel
-        sh, sw = stride
-        windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-        out = windows.mean(axis=(-1, -2))
-        ctx.save(x.shape, kernel, stride, out.shape[2:])
-        return out
+        return backends.current().avg_pool2d_forward(
+            ctx, x, kernel, stride, padding
+        )
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        x_shape, kernel, stride, out_size = ctx.saved
-        kh, kw = kernel
-        sh, sw = stride
-        oh, ow = out_size
-        dx = np.zeros(x_shape, dtype=grad.dtype)
-        g = grad / (kh * kw)
-        for i in range(kh):
-            for j in range(kw):
-                dx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
-        return (dx,)
+        return ctx.saved[0].avg_pool2d_backward(ctx, grad)
 
 
 def avg_pool2d(
-    x: Tensor, kernel: _IntPair, stride: Optional[_IntPair] = None
+    x: Tensor, kernel: _IntPair, stride: Optional[_IntPair] = None,
+    padding: _IntPair = 0,
 ) -> Tensor:
-    """2-D average pooling (no padding) over an NCHW batch."""
+    """2-D average pooling over an NCHW batch.
+
+    Padding is zero-padding with the divisor counting only real input
+    cells (torch's ``count_include_pad=False``): edge windows average
+    the values they actually cover, so a constant input pools to the
+    same constant everywhere.
+    """
     kernel = _pair(kernel)
     stride = kernel if stride is None else _pair(stride)
-    return _AvgPool2d.apply(x, kernel=kernel, stride=stride)
+    return _AvgPool2d.apply(
+        x, kernel=kernel, stride=stride, padding=_pair(padding)
+    )
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -331,15 +331,23 @@ class MaxPool2d(Module):
 
 
 class AvgPool2d(Module):
-    """2-D average pooling module."""
+    """2-D average pooling module.
 
-    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+    Padding is zero-padding with padded cells excluded from the divisor
+    (torch's ``count_include_pad=False``).
+    """
+
+    def __init__(
+        self, kernel_size: int, stride: Optional[int] = None,
+        padding: int = 0,
+    ) -> None:
         super().__init__()
         self.kernel_size = kernel_size
         self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool2d(x, self.kernel_size, self.stride)
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
 
 
 class GlobalAvgPool2d(Module):

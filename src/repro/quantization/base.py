@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.autograd import no_grad
 from ..nn.modules import Parameter
 from ..nn.tensor import Tensor
 
@@ -120,6 +121,19 @@ class WeightQuantizer:
         if self.bits is None:
             return weight
         return self.quantize(weight, self.bits)
+
+    def quantize_array(self, weight: np.ndarray) -> np.ndarray:
+        """Fake-quantize a raw ndarray outside the autograd graph.
+
+        The kernel-level entry point the fused quant-conv uses
+        (:meth:`repro.nn.backends.base.KernelBackend.fused_quant_conv2d`).
+        Routes through the same Tensor path as ``__call__`` under
+        ``no_grad``, so every policy override of :meth:`quantize` —
+        including stateful ones — behaves identically to the unfused
+        path.
+        """
+        with no_grad():
+            return self(Tensor(weight)).data
 
     def quantize(self, weight: Tensor, bits: int) -> Tensor:
         raise NotImplementedError

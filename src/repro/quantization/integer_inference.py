@@ -21,6 +21,16 @@ used instead of a zero-point form.  The integer convolution expands as
 where every Σ is exact int64 arithmetic and the ``_v`` sums run over
 *valid* (non-padded) positions — padding contributes the float value 0,
 not the offset.
+
+The lowering runs on the integer kernels of the current
+:mod:`repro.nn.backends` backend (``int_im2col`` / ``int_gemm``): codes
+stay int64 from extraction to the final rescale, with no float64
+transport anywhere.  (The original implementation round-tripped the
+codes through a float64 im2col and ``np.round`` — lossy beyond 2^53 and
+a pointless conversion below it.)  Validity only depends on spatial
+geometry, so one ``(OH*OW, KH*KW)`` mask and the weight's
+channel-summed codes replace the full ``(N*OH*OW, C*KH*KW)`` float mask
+the old path materialized.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn.functional import im2col
+from ..nn import backends
 
 __all__ = [
     "AffineCode",
@@ -101,32 +111,32 @@ def integer_conv2d(
     validity mask.
     """
     n = x.codes.shape[0]
-    f, _, kh, kw = w.codes.shape
+    f, c, kh, kw = w.codes.shape
+    backend = backends.current()
 
-    cols_f, (oh, ow) = im2col(
-        x.codes.astype(np.float64), (kh, kw), (stride, stride),
-        (padding, padding),
+    # Integer-native lowering: codes travel as int64, zero padding lands
+    # as code 0 and so contributes nothing to the code sums.
+    cols, spatial_mask, (oh, ow) = backend.int_im2col(
+        x.codes, (kh, kw), (stride, stride), (padding, padding)
     )
-    cols = np.round(cols_f).astype(np.int64)
-    mask_f, _ = im2col(
-        np.ones_like(x.codes, dtype=np.float64), (kh, kw),
-        (stride, stride), (padding, padding),
-    )
-    mask = np.round(mask_f).astype(np.int64)   # 1 = valid, 0 = padded
-    cols = cols * mask                          # force padded codes to 0
 
-    w_flat = w.codes.reshape(f, -1).astype(np.int64)
+    w_flat = np.ascontiguousarray(w.codes.reshape(f, -1), dtype=np.int64)
 
-    acc = cols @ w_flat.T                       # Σ c_x c_w  (padded -> 0)
+    acc = backend.int_gemm(cols, w_flat.T)      # Σ c_x c_w  (padded -> 0)
     sum_cx = cols.sum(axis=1, keepdims=True)    # Σ c_x      (padded -> 0)
-    sum_cw_valid = mask @ w_flat.T              # Σ_valid c_w per output
-    n_valid = mask.sum(axis=1, keepdims=True)   # N_valid per output
+    # Offset corrections depend only on window geometry: the spatial
+    # mask times the channel-summed weight codes gives Σ_valid c_w per
+    # output pixel, shared by every sample in the batch.
+    w_spatial = w.codes.reshape(f, c, kh * kw).sum(axis=1)
+    sum_cw_valid = backend.int_gemm(spatial_mask, w_spatial.T)
+    n_valid = spatial_mask.sum(axis=1, keepdims=True) * c
 
     out = (
-        acc.astype(np.float64) * (x.scale * w.scale)
-        + sum_cx.astype(np.float64) * (x.scale * w.offset)
-        + sum_cw_valid.astype(np.float64) * (x.offset * w.scale)
-        + n_valid.astype(np.float64) * (x.offset * w.offset)
+        acc.reshape(n, oh * ow, f).astype(np.float64) * (x.scale * w.scale)
+        + sum_cx.reshape(n, oh * ow, 1).astype(np.float64)
+        * (x.scale * w.offset)
+        + sum_cw_valid.astype(np.float64)[None] * (x.offset * w.scale)
+        + n_valid.astype(np.float64)[None] * (x.offset * w.offset)
     )
     out = out.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
     if bias is not None:
@@ -143,10 +153,10 @@ def integer_linear(
 
     ``x.codes`` is ``(N, In)``; ``w.codes`` is ``(Out, In)``.
     """
-    cx = x.codes.astype(np.int64)
-    cw = w.codes.astype(np.int64)
+    cx = np.ascontiguousarray(x.codes, dtype=np.int64)
+    cw = np.ascontiguousarray(w.codes, dtype=np.int64)
     k = cx.shape[1]
-    acc = cx @ cw.T
+    acc = backends.current().int_gemm(cx, cw.T)
     sum_cx = cx.sum(axis=1, keepdims=True)
     sum_cw = cw.sum(axis=1)[None, :]
     out = (

@@ -163,6 +163,20 @@ class QuantConv2d(QuantModule):
 
     def forward(self, x: Tensor) -> Tensor:
         xq = self.act_quantizer(x)
+        if (
+            not is_grad_enabled()
+            and not self._wq_cache_enabled
+            and self.weight_quantizer.bits is not None
+        ):
+            # Uncached inference forward: fuse the weight quantization
+            # into the conv kernel so the quantized weight never
+            # materializes as a Tensor.  With the frozen-weight cache
+            # armed (CCQ competition stages) the cached tensor is
+            # cheaper still, so the unfused path keeps priority.
+            return F.fused_quant_conv2d(
+                xq, self.weight, self.bias, self.weight_quantizer,
+                stride=self.stride, padding=self.padding,
+            )
         wq = self._cached_quantized_weight()
         return F.conv2d(xq, wq, self.bias, stride=self.stride,
                         padding=self.padding)

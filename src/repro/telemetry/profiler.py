@@ -11,9 +11,15 @@ profiler derives
   get exact expressions; everything else falls back to one op per
   output element),
 * **bytes moved** (sum of input + output array sizes — a proxy for
-  memory-bandwidth pressure), and
-* the **im2col scratch-arena high-water mark** reported by
-  :func:`repro.nn.functional._im2col_scratch`.
+  memory-bandwidth pressure),
+* the **scratch-arena high-water mark** reported by the per-backend
+  :class:`repro.nn.backends.arena.ScratchArena` on fresh allocations,
+  and
+* a per-kernel **(backend, kernel) timing table** fed by the ``@kernel``
+  wrapper in :mod:`repro.nn.backends.base`.  Composite kernels
+  (``conv2d_forward``) call leaf kernels (``im2col``, ``gemm``), so
+  kernel times overlap — read the table as a flattened call tree, not
+  as disjoint buckets.
 
 Determinism: call counts, FLOPs and bytes are pure functions of the
 model and batch shape — identical on every run — so benchmarks can
@@ -37,11 +43,17 @@ the ``repro profile`` CLI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["OpStats", "OpProfiler", "profile_model", "estimate_flops"]
+__all__ = [
+    "OpStats",
+    "KernelStats",
+    "OpProfiler",
+    "profile_model",
+    "estimate_flops",
+]
 
 
 @dataclass
@@ -64,6 +76,21 @@ class OpStats:
         return (
             self.flops / self.total_s / 1e9 if self.total_s > 0 else 0.0
         )
+
+
+@dataclass
+class KernelStats:
+    """Accumulated totals for one ``(backend, kernel)`` entry point."""
+
+    backend: str
+    kernel: str
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
 
 
 def _op_name(fn: type) -> str:
@@ -106,6 +133,10 @@ _FLOPS_ESTIMATORS: Dict[
 ] = {
     "conv2d": _conv_flops,
     "conv2dnobias": _conv_flops,
+    # The fused op's dispatch signature matches conv2d's (x, weight,
+    # bias, ...) and the conv dominates; the in-kernel weight
+    # quantization is O(weight.size) and not modeled.
+    "fusedquantconv2d": _conv_flops,
     "matmul": _matmul_flops,
     "maxpool2d": _pool_flops,
     "avgpool2d": _pool_flops,
@@ -135,6 +166,7 @@ class OpProfiler:
 
     def __init__(self) -> None:
         self.ops: Dict[str, OpStats] = {}
+        self.kernels: Dict[Tuple[str, str], KernelStats] = {}
         self.scratch_high_water_bytes = 0
         self.scratch_allocations = 0
         self._previous: Optional["OpProfiler"] = None
@@ -163,11 +195,24 @@ class OpProfiler:
 
     def note_scratch(self, nbytes: int, arena_bytes: int) -> None:
         """One scratch-arena allocation of ``nbytes`` (arena now holds
-        ``arena_bytes`` total) — called by ``_im2col_scratch``."""
+        ``arena_bytes`` total) — called by
+        :meth:`repro.nn.backends.arena.ScratchArena.get` on misses."""
         self.scratch_allocations += 1
         self.scratch_high_water_bytes = max(
             self.scratch_high_water_bytes, int(arena_bytes)
         )
+
+    def record_kernel(
+        self, backend: str, kernel: str, elapsed_s: float
+    ) -> None:
+        """One backend kernel call — fed by the ``@kernel`` wrapper."""
+        key = (backend, kernel)
+        stats = self.kernels.get(key)
+        if stats is None:
+            stats = self.kernels[key] = KernelStats(backend, kernel)
+        stats.calls += 1
+        stats.total_s += elapsed_s
+        stats.max_s = max(stats.max_s, elapsed_s)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -200,6 +245,13 @@ class OpProfiler:
             self.ops.values(), key=lambda s: (-s.total_s, s.name)
         )
 
+    def sorted_kernels(self) -> List[KernelStats]:
+        """Kernel entries by total wall-clock, descending."""
+        return sorted(
+            self.kernels.values(),
+            key=lambda s: (-s.total_s, s.backend, s.kernel),
+        )
+
     def summary(self) -> Dict[str, Any]:
         """JSON-ready dump (stable op ordering by time)."""
         return {
@@ -207,6 +259,17 @@ class OpProfiler:
             "total_flops": self.total_flops,
             "scratch_high_water_bytes": self.scratch_high_water_bytes,
             "scratch_allocations": self.scratch_allocations,
+            "kernels": [
+                {
+                    "backend": s.backend,
+                    "kernel": s.kernel,
+                    "calls": s.calls,
+                    "total_s": s.total_s,
+                    "mean_s": s.mean_s,
+                    "max_s": s.max_s,
+                }
+                for s in self.sorted_kernels()
+            ],
             "ops": [
                 {
                     "name": s.name,
@@ -245,10 +308,24 @@ class OpProfiler:
         )
         if self.scratch_allocations:
             lines.append(
-                f"im2col scratch: {self.scratch_allocations} "
+                f"scratch arena: {self.scratch_allocations} "
                 f"allocation(s), high water "
                 f"{self.scratch_high_water_bytes / 1e6:.2f} MB"
             )
+        if self.kernels:
+            lines.append("")
+            lines.append(
+                f"{'backend kernel':<28} {'calls':>7} {'total s':>9} "
+                f"{'mean ms':>9}"
+            )
+            # Kernel times overlap (composite kernels call leaf
+            # kernels), so there is deliberately no total row here.
+            for k in self.sorted_kernels():
+                label = f"{k.backend}.{k.kernel}"
+                lines.append(
+                    f"{label:<28} {k.calls:>7d} {k.total_s:>9.4f} "
+                    f"{k.mean_s * 1e3:>9.4f}"
+                )
         return "\n".join(lines)
 
 

@@ -103,6 +103,75 @@ class TestPooling:
         )
 
 
+class TestAvgPoolPadding:
+    """Zero-padded average pooling with padded cells excluded from the
+    divisor (torch's count_include_pad=False)."""
+
+    def test_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        assert F.avg_pool2d(x, 3, stride=2, padding=1).shape == (1, 2, 3, 3)
+
+    def test_constant_input_pools_to_constant(self):
+        # The defining property of count_include_pad=False: edge
+        # windows average only the cells they actually cover.
+        x = Tensor(np.full((2, 3, 5, 5), 1.75))
+        out = F.avg_pool2d(x, 3, stride=2, padding=1)
+        np.testing.assert_array_equal(
+            out.data, np.full((2, 3, 3, 3), 1.75)
+        )
+
+    def test_corner_window_divisor(self):
+        x = np.zeros((1, 1, 4, 4))
+        x[0, 0, 0, 0] = 8.0
+        out = F.avg_pool2d(Tensor(x), 3, stride=2, padding=1).data
+        # The top-left 3x3 window covers a 2x2 real region (4 cells),
+        # so the lone 8.0 averages to 2.0 — not 8/9.
+        assert out[0, 0, 0, 0] == pytest.approx(2.0)
+
+    def test_matches_manual_window_means(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = F.avg_pool2d(Tensor(x), 3, stride=2, padding=1).data
+        for oi in range(3):
+            for oj in range(3):
+                i0, j0 = oi * 2 - 1, oj * 2 - 1
+                window = x[
+                    :, :,
+                    max(i0, 0): min(i0 + 3, 5),
+                    max(j0, 0): min(j0 + 3, 5),
+                ]
+                np.testing.assert_allclose(
+                    out[:, :, oi, oj], window.mean(axis=(-1, -2))
+                )
+
+    def test_grad_with_padding(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+
+        def loss():
+            return (F.avg_pool2d(x, 3, 2, 1) ** 2).sum().item()
+
+        (F.avg_pool2d(x, 3, 2, 1) ** 2).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, numerical_grad(loss, x.data), atol=1e-5
+        )
+
+    def test_unpadded_path_unchanged(self, rng):
+        # padding=0 must take the exact pre-existing mean() code path.
+        x = rng.normal(size=(1, 2, 6, 6))
+        np.testing.assert_array_equal(
+            F.avg_pool2d(Tensor(x), 2, padding=0).data,
+            F.avg_pool2d(Tensor(x), 2).data,
+        )
+
+    def test_module_forwards_padding(self, rng):
+        from repro.nn import AvgPool2d
+
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        module = AvgPool2d(3, stride=2, padding=1)
+        np.testing.assert_array_equal(
+            module(x).data, F.avg_pool2d(x, 3, 2, 1).data
+        )
+
+
 class TestLinear:
     def test_forward(self, rng):
         x = rng.normal(size=(4, 3))

@@ -113,6 +113,106 @@ class TestIntegerConv:
         np.testing.assert_allclose(out, expected, atol=1e-9)
 
 
+class TestIntNativeLowering:
+    """The integer path must be integer end to end — no float64
+    transport of codes (the bug this lowering replaced: codes took an
+    im2col ride as float64 and came back through ``np.round``)."""
+
+    def test_integer_conv_never_rounds(self, rng, monkeypatch):
+        x = extract_affine_code(
+            fake_quantize_unsigned(
+                Tensor(np.abs(rng.normal(size=(2, 3, 8, 8)))), 4, 2.0
+            ).data
+        )
+        w = extract_affine_code(
+            fake_quantize_symmetric(
+                Tensor(rng.normal(size=(4, 3, 3, 3))), 3, 1.0
+            ).data
+        )
+        bias = rng.normal(size=(4,))
+
+        real_round = np.round
+
+        def spy_round(a, *args, **kwargs):
+            # np.pad legitimately rounds its tiny integer pad-width
+            # array internally; what must never happen again is codes
+            # coming back from a float im2col through np.round.
+            arr = np.asarray(a)
+            if arr.dtype.kind == "f" and arr.size > 4:
+                raise AssertionError(
+                    "np.round of a float array inside the integer path "
+                    "means codes took a float round-trip"
+                )
+            return real_round(a, *args, **kwargs)
+
+        monkeypatch.setattr(np, "round", spy_round)
+        integer_conv2d(x, w, bias, stride=2, padding=1)
+        integer_linear(
+            AffineCode(x.codes.reshape(2, -1)[:, :27], x.scale, x.offset),
+            AffineCode(w.codes.reshape(4, -1), w.scale, w.offset),
+        )
+
+    def test_lowering_receives_integer_arrays_only(self, rng, monkeypatch):
+        from repro.nn.backends import KernelBackend
+
+        x = extract_affine_code(
+            fake_quantize_unsigned(
+                Tensor(np.abs(rng.normal(size=(1, 2, 6, 6)))), 3, 1.0
+            ).data
+        )
+        w = extract_affine_code(
+            fake_quantize_symmetric(
+                Tensor(rng.normal(size=(3, 2, 3, 3))), 3, 1.0
+            ).data
+        )
+        seen = []
+        real_im2col = KernelBackend.im2col
+
+        def spy(self, array, *args, **kwargs):
+            seen.append(np.asarray(array).dtype)
+            return real_im2col(self, array, *args, **kwargs)
+
+        monkeypatch.setattr(KernelBackend, "im2col", spy)
+        integer_conv2d(x, w, padding=1)
+        assert seen, "integer conv never reached the im2col lowering"
+        assert all(dtype == np.int64 for dtype in seen)
+
+    def test_codes_beyond_2_53_stay_exact(self):
+        """Codes above 2^53 are not float64-representable; the old
+        float64 im2col silently corrupted them before accumulation.
+        With integer-native lowering the accumulator is exact and only
+        the final (exactly representable here) sum is converted."""
+        big = 2 ** 53 + 1  # rounds to 2^53 as float64
+        x = AffineCode(
+            codes=np.array([big, 1], dtype=np.int64).reshape(1, 2, 1, 1),
+            scale=1.0, offset=0.0,
+        )
+        w = AffineCode(
+            codes=np.ones((1, 2, 1, 1), dtype=np.int64),
+            scale=1.0, offset=0.0,
+        )
+        out = integer_conv2d(x, w)
+        # Exact: (2^53 + 1) + 1 = 2^53 + 2, representable as float64.
+        # The float round-trip produced 2^53 (big snapped to 2^53 on
+        # the way into the im2col matrix).
+        assert out.item() == float(2 ** 53 + 2)
+
+        lin = integer_linear(
+            AffineCode(x.codes.reshape(1, 2), 1.0, 0.0),
+            AffineCode(w.codes.reshape(1, 2), 1.0, 0.0),
+        )
+        assert lin.item() == float(2 ** 53 + 2)
+
+    def test_column_matrix_is_integer(self, rng):
+        from repro.nn.backends import current
+
+        codes = rng.integers(0, 255, size=(1, 2, 6, 6)).astype(np.int64)
+        cols, mask, _ = current().int_im2col(codes, (3, 3), (1, 1), (1, 1))
+        assert cols.dtype == np.int64
+        assert mask.dtype == np.int64
+        assert set(np.unique(mask)) <= {0, 1}
+
+
 class TestEndToEndLayer:
     @pytest.mark.parametrize("policy", ["dorefa", "wrpn", "pact", "pact_sawb"])
     def test_quant_conv_layer_matches_integer_path(self, policy, rng):
