@@ -28,6 +28,19 @@ Commands
     counters, refreshed in place.  ``--serve PORT`` additionally
     exposes the snapshot over HTTP in Prometheus text format.
 
+``serve``
+    Compile a quantized demo model into the integer-only serving
+    engine (``repro.serving``) and expose it over HTTP: ``POST
+    /predict``, ``GET /metrics`` (Prometheus text), ``GET /healthz``.
+    The micro-batcher coalesces concurrent requests; batching is
+    bitwise invisible.
+
+``bench-serve``
+    Closed-loop load test of the serving engine: N concurrent clients,
+    p50/p90/p99 latency, throughput, and a batch-invariance audit
+    (every response replayed solo and compared bitwise).  Non-zero
+    exit if any response diverges or any request fails.
+
 ``policies``
     List the registered quantization policies (plain stdout, one per
     line, for scripting).
@@ -384,6 +397,155 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_demo_compiled(args: argparse.Namespace):
+    """Compile a self-contained quantized demo model for serving.
+
+    The paper's headline tasks are residual ResNets, which the chain
+    compiler rejects by design; the demo SmallConvNet exercises the
+    full deployment path (BN folding, quantized conv/GAP chain,
+    integer requantization) at CLI speed with no dataset dependency.
+    Returns ``(compiled, rng)``.
+    """
+    import numpy as np
+
+    from . import models
+    from .nn import Tensor, no_grad
+    from .quantization import quantize_model, set_uniform_bits
+    from .serving import compile_model
+
+    rng = np.random.default_rng(args.seed)
+    shape = (args.calib_batch, 3, args.image_size, args.image_size)
+    net = models.SmallConvNet(
+        in_channels=3, num_classes=args.classes, width=args.width, rng=rng
+    )
+    net.train()
+    with no_grad():
+        for _ in range(3):  # give BN folding nontrivial running stats
+            net(Tensor(rng.normal(size=shape)))
+    net.eval()
+    quantize_model(net, args.policy)
+    set_uniform_bits(net, args.w_bits, args.a_bits)
+    calibration = rng.normal(size=shape)
+    with no_grad():
+        net(Tensor(calibration))  # initialize lazy quantizer state (LSQ)
+    return compile_model(net, calibration), rng
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ServingEngine
+    from .serving.http import make_server
+
+    telemetry = _make_telemetry(args)
+    compiled, _ = _build_demo_compiled(args)
+    engine = ServingEngine(
+        compiled,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.kernel_backend,
+        telemetry=telemetry,
+    )
+    try:
+        server = make_server(
+            engine, telemetry.registry, host=args.host, port=args.port
+        )
+    except OSError as err:
+        print(f"error: cannot bind {args.host}:{args.port}: {err}",
+              file=sys.stderr)
+        engine.close()
+        return 2
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.policy} w{args.w_bits}a{args.a_bits} SmallConvNet "
+        f"(input {'x'.join(map(str, compiled.input_shape))}, backend "
+        f"{args.kernel_backend}) on http://{host}:{port} — POST /predict, "
+        f"GET /metrics, GET /healthz",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.close()
+        telemetry.close()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import math
+
+    import numpy as np
+
+    from .serving import ServingEngine, batch_invariance_errors, run_load
+
+    telemetry = _make_telemetry(args)
+    compiled, rng = _build_demo_compiled(args)
+    engine = ServingEngine(
+        compiled,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.kernel_backend,
+        telemetry=telemetry,
+    )
+    inputs = [rng.normal(size=compiled.input_shape) for _ in range(args.pool)]
+    try:
+        result = run_load(
+            engine, inputs,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+        )
+    finally:
+        engine.close()
+        telemetry.close()
+    mismatches = batch_invariance_errors(compiled, inputs, result)
+    summary = result.summary()
+    summary["batch_invariant"] = not mismatches
+    summary["n_mismatches"] = len(mismatches)
+    # Data output (parseable), like ``policies``/``power``.
+    print(f"clients:          {result.n_clients}")
+    print(f"requests:         {result.n_requests}")
+    print(f"failures:         {result.n_failures}")
+    print(f"throughput_rps:   {result.throughput_rps:.1f}")
+    print(f"latency_p50_ms:   {result.latency_p50_ms:.3f}")
+    print(f"latency_p90_ms:   {result.latency_p90_ms:.3f}")
+    print(f"latency_p99_ms:   {result.latency_p99_ms:.3f}")
+    print(f"batch_invariant:  {not mismatches}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    ok = (
+        not mismatches
+        and result.n_failures == 0
+        and math.isfinite(result.latency_p99_ms)
+    )
+    return 0 if ok else 1
+
+
+def _add_serving_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--policy", default="pact", choices=available_policies(),
+                   help="quantization policy for the demo model")
+    p.add_argument("--w-bits", type=int, default=4)
+    p.add_argument("--a-bits", type=int, default=4)
+    p.add_argument("--width", type=int, default=8,
+                   help="SmallConvNet base width")
+    p.add_argument("--image-size", type=int, default=16)
+    p.add_argument("--classes", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--calib-batch", type=int, default=8,
+                   help="calibration batch size (fixes the served shape)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch flush size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batch flush deadline")
+    p.add_argument("--kernel-backend", default="threaded",
+                   choices=available_backends(),
+                   help="kernel backend for the integer stages")
+    p.add_argument("--telemetry-dir", default=None,
+                   help="also persist metrics/events for report-run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CCQ (DAC 2020) reproduction CLI"
@@ -569,6 +731,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address for --serve (default: loopback only)",
     )
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a quantized demo model over HTTP "
+             "(integer-only engine)",
+    )
+    _add_serving_args(p_srv)
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    p_srv.add_argument("--port", type=int, default=8551,
+                       help="bind port (0 picks a free port)")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_bsrv = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load test of the serving engine "
+             "(latency percentiles + batch-invariance audit)",
+    )
+    _add_serving_args(p_bsrv)
+    p_bsrv.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    p_bsrv.add_argument("--requests", type=int, default=16,
+                        help="requests per client")
+    p_bsrv.add_argument("--pool", type=int, default=32,
+                        help="distinct inputs cycled across clients")
+    p_bsrv.add_argument("--output", default=None,
+                        help="also write the summary as JSON")
+    p_bsrv.set_defaults(func=_cmd_bench_serve)
 
     p_pol = sub.add_parser("policies", help="list quantization policies")
     p_pol.set_defaults(func=_cmd_policies)

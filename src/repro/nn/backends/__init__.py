@@ -4,7 +4,7 @@ A *kernel backend* supplies every low-level kernel the ``repro.nn`` op
 set dispatches to: conv2d forward/backward, im2col/col2im, float GEMM,
 pooling, the integer-native im2col/GEMM pair used by
 :mod:`repro.quantization.integer_inference`, and the fused
-fake-quant + conv forward.  Two backends ship:
+fake-quant + conv forward.  Three backends ship:
 
 ``reference``
     The plain numpy kernels (the default) — the bit-identity ground
@@ -14,6 +14,12 @@ fake-quant + conv forward.  Two backends ship:
     Arena-padded im2col and a panel-blocked einsum integer GEMM; every
     optimization measured on this substrate and byte-identical to
     ``reference`` (see :mod:`.fast`).
+
+``threaded``
+    ``fast`` with the integer GEMM's row panels fanned out over a
+    thread pool — built for the serving engine's batched integer
+    forwards, where exact int64 regrouping makes threading legal
+    without touching bit-identity (see :mod:`.threaded`).
 
 Selecting a backend (:func:`set_default_backend`, :func:`use_backend`,
 or ``--kernel-backend`` on the CLI) is **trajectory-invariant**: all
@@ -33,11 +39,13 @@ from .arena import ScratchArena
 from .base import KernelBackend, kernel
 from .fast import FastBackend
 from .reference import ReferenceBackend
+from .threaded import ThreadedBackend
 
 __all__ = [
     "KernelBackend",
     "ReferenceBackend",
     "FastBackend",
+    "ThreadedBackend",
     "ScratchArena",
     "kernel",
     "register_backend",
@@ -121,3 +129,4 @@ def use_backend(name: str) -> Iterator[KernelBackend]:
 
 register_backend(ReferenceBackend())
 register_backend(FastBackend())
+register_backend(ThreadedBackend())

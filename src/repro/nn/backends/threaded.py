@@ -1,0 +1,93 @@
+"""The ``threaded`` backend: multi-threaded integer GEMM for serving.
+
+Extends :class:`~repro.nn.backends.fast.FastBackend` with one change:
+``int_gemm`` splits its row panels across a thread pool.  This is the
+backend the serving engine's batch dimension wants — micro-batching
+multiplies the im2col row count by the batch size, and numpy's
+``einsum`` releases the GIL while it contracts, so panel workers
+genuinely overlap on multi-core hosts.
+
+Threading is *only* legal for the integer GEMM: int64 addition is
+exact under regrouping, so any panel split produces byte-identical
+results (the same argument that lets ``fast`` block its panels).  The
+float GEMM stays a single BLAS call, inherited unchanged, because
+float summation order is part of the bit-identity contract (see the
+``base`` module docstring).
+
+Small problems skip the pool: below ``min_rows`` rows the dispatch
+overhead (~tens of microseconds per task) would dominate, so the
+kernel falls back to the serial panel loop — again byte-identical.
+On a single-core host the pool still works and still produces
+identical bytes; it just cannot produce a speedup, which is why the
+registry equivalence suite (not a perf assertion) is the gate for
+this backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from .base import kernel
+from .fast import FastBackend, _INT_GEMM_PANEL
+
+__all__ = ["ThreadedBackend"]
+
+
+class ThreadedBackend(FastBackend):
+    """``fast`` plus row-parallel integer GEMM."""
+
+    name = "threaded"
+
+    def __init__(
+        self,
+        num_threads: Optional[int] = None,
+        min_rows: int = 128,
+        scratch_capacity: int = 16,
+    ) -> None:
+        super().__init__(scratch_capacity=scratch_capacity)
+        if num_threads is None:
+            num_threads = min(4, max(2, os.cpu_count() or 1))
+        self.num_threads = max(1, int(num_threads))
+        self.min_rows = int(min_rows)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_threads,
+                    thread_name_prefix="int-gemm",
+                )
+            return self._pool
+
+    @staticmethod
+    def _fill_rows(
+        a: np.ndarray, b: np.ndarray, out: np.ndarray, r0: int, r1: int
+    ) -> None:
+        for m0 in range(r0, r1, _INT_GEMM_PANEL):
+            m1 = min(m0 + _INT_GEMM_PANEL, r1)
+            np.einsum("mk,kf->mf", a[m0:m1], b, out=out[m0:m1])
+
+    @kernel
+    def int_gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        m = a.shape[0]
+        out = np.empty((m, b.shape[1]), dtype=np.int64)
+        if m < self.min_rows or self.num_threads < 2:
+            self._fill_rows(a, b, out, 0, m)
+            return out
+        chunk = -(-m // self.num_threads)  # ceil division
+        futures: List = []
+        pool = self._executor()
+        for r0 in range(0, m, chunk):
+            futures.append(
+                pool.submit(self._fill_rows, a, b, out, r0, min(r0 + chunk, m))
+            )
+        for fut in futures:
+            fut.result()  # propagate worker exceptions
+        return out

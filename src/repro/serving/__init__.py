@@ -1,0 +1,49 @@
+"""Integer-only serving for CCQ-quantized models.
+
+Two halves:
+
+- :mod:`repro.serving.compile` — lower a trained fake-quant chain
+  model to an integer-only plan (BN folding, activation-grid probing,
+  fixed-point requantization); see :func:`compile_model`.
+- :mod:`repro.serving.engine` — a micro-batching async runtime over a
+  compiled plan, with telemetry and structured per-request failures;
+  see :class:`ServingEngine`.
+
+The deployment contract: between ingress (quantizing the float input)
+and egress (reconstructing float logits from the last layer), the
+forward pass is pure int64 arithmetic, and batched execution is
+bitwise identical to serial execution.  docs/serving.md walks through
+the math and the knobs.
+"""
+
+from .compile import (
+    ActGrid,
+    CompiledModel,
+    CompileError,
+    FrozenActQuantizer,
+    compile_model,
+    fake_quant_activations,
+    fold_batchnorm,
+    freeze_dynamic_quantizers,
+)
+from .engine import RequestError, ServingEngine
+from .fixedpoint import FixedPointMultiplier, round_half_even_shift
+from .loadgen import LoadResult, batch_invariance_errors, run_load
+
+__all__ = [
+    "ActGrid",
+    "CompileError",
+    "CompiledModel",
+    "FixedPointMultiplier",
+    "FrozenActQuantizer",
+    "LoadResult",
+    "RequestError",
+    "ServingEngine",
+    "batch_invariance_errors",
+    "compile_model",
+    "fake_quant_activations",
+    "fold_batchnorm",
+    "freeze_dynamic_quantizers",
+    "round_half_even_shift",
+    "run_load",
+]

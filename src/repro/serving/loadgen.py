@@ -1,0 +1,174 @@
+"""Closed-loop load generator for :class:`~repro.serving.engine.ServingEngine`.
+
+``run_load`` drives an engine with ``n_clients`` threads.  Each client
+is *closed-loop*: it submits a request, waits for the response, then
+submits its next one — so per-client ordering is structural, while
+cross-client interleaving still exercises the micro-batcher (distinct
+clients' in-flight requests get coalesced into shared batches).
+
+The result carries every client's (input index, output) sequence so
+callers can assert the serving engine's batch-invariance:
+:func:`batch_invariance_errors` replays each input alone through the
+compiled plan and reports any response that is not bitwise identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ClientTrace", "LoadResult", "run_load", "batch_invariance_errors"]
+
+
+@dataclass
+class ClientTrace:
+    """One client's completed requests, in submission order."""
+
+    input_indices: List[int] = field(default_factory=list)
+    outputs: List[np.ndarray] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LoadResult:
+    n_clients: int
+    requests_per_client: int
+    n_requests: int
+    n_failures: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    latencies_ms: List[float]
+    clients: List[ClientTrace]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "n_clients": self.n_clients,
+            "requests_per_client": self.requests_per_client,
+            "n_requests": self.n_requests,
+            "n_failures": self.n_failures,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p90_ms": self.latency_p90_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile (matches telemetry.Histogram)."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def run_load(
+    engine: Any,
+    inputs: Sequence[np.ndarray],
+    n_clients: int = 8,
+    requests_per_client: int = 16,
+    timeout: float = 120.0,
+) -> LoadResult:
+    """Drive ``engine`` with concurrent closed-loop clients.
+
+    Client ``c``'s ``i``-th request uses input index
+    ``(c + i * n_clients) % len(inputs)``, so the same input pool is
+    exercised from interleaved positions across clients and batches.
+    """
+    if not inputs:
+        raise ValueError("need at least one input")
+    traces = [ClientTrace() for _ in range(n_clients)]
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client(c: int) -> None:
+        trace = traces[c]
+        barrier.wait()
+        for i in range(requests_per_client):
+            idx = (c + i * n_clients) % len(inputs)
+            start = time.perf_counter()
+            future = engine.submit(inputs[idx])
+            try:
+                out = future.result(timeout=timeout)
+            except Exception as exc:
+                trace.input_indices.append(idx)
+                trace.outputs.append(None)
+                trace.errors.append(str(exc))
+            else:
+                trace.input_indices.append(idx)
+                trace.outputs.append(out)
+                trace.errors.append(None)
+            latencies[c].append((time.perf_counter() - start) * 1000.0)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"loadgen-{c}")
+        for c in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t0
+
+    flat = sorted(x for per in latencies for x in per)
+    n_requests = n_clients * requests_per_client
+    n_failures = sum(
+        1 for trace in traces for err in trace.errors if err is not None
+    )
+    return LoadResult(
+        n_clients=n_clients,
+        requests_per_client=requests_per_client,
+        n_requests=n_requests,
+        n_failures=n_failures,
+        duration_s=duration,
+        throughput_rps=n_requests / duration if duration > 0 else float("inf"),
+        latency_p50_ms=_percentile(flat, 50.0),
+        latency_p90_ms=_percentile(flat, 90.0),
+        latency_p99_ms=_percentile(flat, 99.0),
+        latencies_ms=flat,
+        clients=traces,
+    )
+
+
+def batch_invariance_errors(
+    compiled: Any,
+    inputs: Sequence[np.ndarray],
+    result: LoadResult,
+) -> List[Tuple[int, int, int]]:
+    """Check every served response against solo serial execution.
+
+    Each distinct input is run alone (batch of one) through
+    ``compiled``; any response from the load run that is not *bitwise*
+    identical is reported as ``(client, position, input_index)``.  An
+    empty list is the batch-invariance certificate.
+    """
+    solo: Dict[int, np.ndarray] = {}
+    mismatches: List[Tuple[int, int, int]] = []
+    for c, trace in enumerate(result.clients):
+        for pos, (idx, out, err) in enumerate(
+            zip(trace.input_indices, trace.outputs, trace.errors)
+        ):
+            if err is not None:
+                mismatches.append((c, pos, idx))
+                continue
+            if idx not in solo:
+                solo[idx] = np.asarray(
+                    compiled.forward(np.asarray(inputs[idx])[None])[0]
+                )
+            if not np.array_equal(out, solo[idx]):
+                mismatches.append((c, pos, idx))
+    return mismatches

@@ -28,10 +28,11 @@ from repro.telemetry.profiler import OpProfiler
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ("fast", "reference")
+        assert available_backends() == ("fast", "reference", "threaded")
         assert current().name == "reference"
         assert isinstance(get_backend("fast"), FastBackend)
         assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("threaded"), FastBackend)
 
     def test_unknown_backend_names_the_alternatives(self):
         with pytest.raises(KeyError, match="fast.*reference"):

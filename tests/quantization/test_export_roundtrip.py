@@ -1,0 +1,126 @@
+"""Property tests for export packing: exact round trips at any width.
+
+Complements ``test_export.py``'s example-based coverage with
+hypothesis sweeps over bit widths (including the 1-bit / sub-byte edge
+cases), odd channel counts whose payloads don't fall on byte
+boundaries, and mixed per-layer precisions — asserting the pack →
+unpack round trip is bitwise exact and the size accounting
+(``payload_bytes``, ``realized_compression``) matches first
+principles.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.quantization import quantize_model, quantized_layers
+from repro.quantization.export import pack_model, unpack_into
+
+
+class OddNet(nn.Module):
+    """Channel counts chosen so n_values * index_bits % 8 != 0 often."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.conv1 = nn.Conv2d(3, 5, 3, rng=rng)
+        self.conv2 = nn.Conv2d(5, 7, 3, rng=rng)
+        self.fc = nn.Linear(7, 3, rng=rng)
+
+    def forward(self, x):  # pragma: no cover - packing never runs forward
+        raise NotImplementedError
+
+
+def _quantized_oddnet(seed, policy, bits_per_layer):
+    net = OddNet(np.random.default_rng(seed))
+    quantize_model(net, policy)
+    for (_, layer), w_bits in zip(quantized_layers(net), bits_per_layer):
+        layer.w_bits = w_bits
+        layer.a_bits = max(2, w_bits)
+    return net
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    policy=st.sampled_from(["dorefa", "pact", "lsq", "wrpn"]),
+    bits_per_layer=st.lists(
+        st.integers(min_value=1, max_value=8), min_size=3, max_size=3
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_pack_unpack_roundtrip_is_exact(policy, bits_per_layer, seed):
+    net = _quantized_oddnet(seed, policy, bits_per_layer)
+    packed = pack_model(net)
+    for name, layer in quantized_layers(net):
+        expected = layer.quantized_weight().data
+        np.testing.assert_array_equal(packed.layers[name].unpack(), expected)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    policy=st.sampled_from(["dorefa", "pact", "lsq"]),
+    bits_per_layer=st.lists(
+        st.integers(min_value=1, max_value=8), min_size=3, max_size=3
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_unpack_into_fresh_model(policy, bits_per_layer, seed):
+    """Deploy path: pack one model, unpack into an identically-built
+    twin, and require the twin's quantized weights to match bitwise."""
+    net = _quantized_oddnet(seed, policy, bits_per_layer)
+    twin = _quantized_oddnet(seed + 1, policy, bits_per_layer)
+    packed = pack_model(net)
+    unpack_into(twin, packed)
+    for name, layer in quantized_layers(net):
+        twin_layer = dict(quantized_layers(twin))[name]
+        # the shadow weights now hold the deployed values exactly
+        np.testing.assert_array_equal(
+            twin_layer.weight.data, packed.layers[name].unpack()
+        )
+        np.testing.assert_array_equal(
+            twin_layer.weight.data, layer.quantized_weight().data
+        )
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    policy=st.sampled_from(["dorefa", "pact", "lsq", "wrpn"]),
+    bits_per_layer=st.lists(
+        st.integers(min_value=1, max_value=8), min_size=3, max_size=3
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_size_accounting_from_first_principles(policy, bits_per_layer, seed):
+    net = _quantized_oddnet(seed, policy, bits_per_layer)
+    packed = pack_model(net)
+    for name, layer in packed.layers.items():
+        n_levels = len(layer.codebook)
+        assert layer.index_bits == max(1, math.ceil(math.log2(n_levels)))
+        index_bytes = math.ceil(layer.n_values * layer.index_bits / 8)
+        # np.packbits pads the last byte, never more
+        assert layer.packed_indices.nbytes == index_bytes
+        assert layer.payload_bytes == index_bytes + n_levels * 4
+    assert packed.payload_bytes == sum(
+        layer.payload_bytes for layer in packed.layers.values()
+    )
+    assert packed.fp32_bytes == sum(
+        4 * int(np.prod(layer.shape)) for layer in packed.layers.values()
+    )
+    assert packed.realized_compression == (
+        packed.fp32_bytes / packed.payload_bytes
+    )
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_one_bit_layers_pack_one_bit_indices(seed):
+    """1-bit DoReFa weights have a 2-level codebook -> 1 index bit,
+    so the payload must be ~n/8 bytes plus the tiny codebook."""
+    net = _quantized_oddnet(seed, "dorefa", [1, 1, 1])
+    packed = pack_model(net)
+    for layer in packed.layers.values():
+        assert len(layer.codebook) <= 2
+        assert layer.index_bits == 1
+        assert layer.packed_indices.nbytes == math.ceil(layer.n_values / 8)

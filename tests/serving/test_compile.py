@@ -1,0 +1,233 @@
+"""Compilation pipeline: BN folding, quantizer freezing, error paths.
+
+The bit-exactness of the compiled engine is covered by the hypothesis
+suite in ``test_serving_equivalence.py``; this module tests the
+compile-time machinery in isolation — folding math, dynamic-quantizer
+freezing, the post-op tracer, and every rejection path the compiler
+promises to take (branching graphs, unquantized models, missing bit
+widths, non-uniform codebooks).
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.quantization import quantize_model, quantized_layers, set_uniform_bits
+from repro.serving import (
+    CompileError,
+    compile_model,
+    fake_quant_activations,
+    fold_batchnorm,
+    freeze_dynamic_quantizers,
+)
+from repro.serving.compile import FrozenActQuantizer
+
+
+def _warm_bn(net, rng, shape, steps=3):
+    net.train()
+    with no_grad():
+        for _ in range(steps):
+            net(Tensor(rng.normal(size=shape)))
+    net.eval()
+    return net
+
+
+def _quantized_convnet(rng, policy="pact", w_bits=4, a_bits=4):
+    net = models.SmallConvNet(width=8, rng=rng)
+    _warm_bn(net, rng, (8, 3, 12, 12))
+    quantize_model(net, policy)
+    set_uniform_bits(net, w_bits, a_bits)
+    calibration = rng.normal(size=(8, 3, 12, 12))
+    with no_grad():
+        net(Tensor(calibration))
+    return net, calibration
+
+
+class AvgPoolNet(nn.Module):
+    """Conv chain exercising the avg-pool post-op (SmallConvNet uses
+    GAP and LeNet max-pool, so this path needs its own model).
+
+    The BatchNorms matter beyond fold coverage: folding multiplies the
+    weight lattice by data-dependent scales, which keeps the layer
+    grids incommensurate so pool averages never land *exactly* on a
+    code boundary — the one place float and integer rounding are
+    allowed to disagree (see docs/serving.md).
+    """
+
+    def __init__(self, rng):
+        super().__init__()
+        self.conv1 = nn.Conv2d(3, 6, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(6)
+        self.conv2 = nn.Conv2d(6, 8, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(8)
+        self.fc = nn.Linear(8 * 3 * 3, 10, rng=rng)
+
+    def forward(self, x):
+        out = F.avg_pool2d(self.bn1(self.conv1(x)).relu(), 2)
+        out = F.avg_pool2d(self.bn2(self.conv2(out)).relu(), 2)
+        return self.fc(out.flatten(start_dim=1))
+
+
+class ResidualNet(nn.Module):
+    """Has a skip connection — the chain tracer must reject it."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.conv1 = nn.Conv2d(3, 3, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(3, 3, 3, padding=1, rng=rng)
+        self.fc = nn.Linear(3 * 12 * 12, 10, rng=rng)
+
+    def forward(self, x):
+        out = self.conv1(x).relu()
+        out = self.conv2(out) + out  # branch
+        return self.fc(out.flatten(start_dim=1))
+
+
+class TestFoldBatchnorm:
+    def test_float_model_equivalence(self, rng):
+        net = models.SmallConvNet(width=8, rng=rng)
+        _warm_bn(net, rng, (8, 3, 12, 12))
+        x = Tensor(rng.normal(size=(4, 3, 12, 12)))
+        with no_grad():
+            before = net(x).data.copy()
+        folded = fold_batchnorm(net, rng.normal(size=(2, 3, 12, 12)))
+        with no_grad():
+            after = folded(x).data
+        np.testing.assert_allclose(after, before, rtol=1e-9, atol=1e-9)
+
+    def test_original_model_untouched(self, rng):
+        net = models.SmallConvNet(width=8, rng=rng)
+        _warm_bn(net, rng, (8, 3, 12, 12))
+        w_before = net.conv1.weight.data.copy()
+        fold_batchnorm(net, rng.normal(size=(2, 3, 12, 12)))
+        np.testing.assert_array_equal(net.conv1.weight.data, w_before)
+        assert any(
+            isinstance(m, nn.BatchNorm2d) for _, m in net.named_modules()
+        )
+
+    def test_folding_creates_bias(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        folded = fold_batchnorm(net, calibration)
+        for _, layer in quantized_layers(folded):
+            if isinstance(layer, nn.Conv2d):
+                assert layer.bias is not None
+
+    def test_folded_model_has_no_batchnorm(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        folded = fold_batchnorm(net, calibration)
+        assert not any(
+            isinstance(m, nn.BatchNorm2d) for _, m in folded.named_modules()
+        )
+
+
+class TestFreezeDynamicQuantizers:
+    def test_dorefa_signed_act_is_frozen(self, rng):
+        net, calibration = _quantized_convnet(rng, policy="dorefa")
+        frozen = freeze_dynamic_quantizers(net, calibration)
+        assert frozen, "dorefa's per-batch-max input quantizer must freeze"
+        layers = dict(quantized_layers(net))
+        assert any(
+            isinstance(layers[name].act_quantizer, FrozenActQuantizer)
+            for name in frozen
+        )
+
+    def test_static_policies_freeze_nothing(self, rng):
+        net, calibration = _quantized_convnet(rng, policy="pact")
+        assert freeze_dynamic_quantizers(net, calibration) == []
+
+    def test_frozen_quantizer_is_elementwise(self, rng):
+        net, calibration = _quantized_convnet(rng, policy="dorefa")
+        frozen = freeze_dynamic_quantizers(net, calibration)
+        layers = dict(quantized_layers(net))
+        q = layers[frozen[0]].act_quantizer
+        bits = layers[frozen[0]].a_bits
+        x = rng.normal(size=64)
+        with no_grad():
+            full = q.quantize(Tensor(x), bits).data
+            half = q.quantize(Tensor(x[:32]), bits).data
+        np.testing.assert_array_equal(full[:32], half)
+
+
+class TestCompileSmoke:
+    def test_summary_names_stages(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        compiled = compile_model(net, calibration)
+        summary = compiled.summary()
+        assert len(summary["layers"]) == len(quantized_layers(net))
+        assert [e["name"] for e in summary["layers"]] == compiled.layer_names
+        assert compiled.input_shape == (3, 12, 12)
+
+    def test_avgpool_chain_compiles_exactly(self, rng):
+        net = AvgPoolNet(rng)
+        _warm_bn(net, rng, (8, 3, 12, 12))
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        calibration = rng.normal(size=(8, 3, 12, 12))
+        with no_grad():
+            net(Tensor(calibration))
+        compiled = compile_model(net, calibration)
+        x = rng.normal(size=(5, 3, 12, 12))
+        expected_acts, expected_logits = fake_quant_activations(
+            compiled.reference_model, x
+        )
+        trace, logits = compiled.forward_codes(x)
+        np.testing.assert_allclose(logits, expected_logits, atol=1e-8)
+        for grid, codes, acts in zip(compiled.grids, trace, expected_acts):
+            np.testing.assert_array_equal(codes, grid.codes_from_values(acts))
+
+    def test_batch_independence(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        compiled = compile_model(net, calibration)
+        xs = rng.normal(size=(6, 3, 12, 12))
+        batched = compiled.forward(xs)
+        for i in range(6):
+            solo = compiled.forward(xs[i : i + 1])
+            np.testing.assert_array_equal(batched[i], solo[0])
+
+
+class TestCompileErrors:
+    def test_residual_graph_rejected(self, rng):
+        net = ResidualNet(rng)
+        quantize_model(net, "pact")
+        set_uniform_bits(net, 4, 4)
+        calibration = rng.normal(size=(4, 3, 12, 12))
+        with no_grad():
+            net(Tensor(calibration))
+        with pytest.raises(CompileError):
+            compile_model(net, calibration)
+
+    def test_unquantized_model_rejected(self, rng):
+        net = models.SmallConvNet(width=8, rng=rng)
+        _warm_bn(net, rng, (4, 3, 12, 12))
+        with pytest.raises(CompileError):
+            compile_model(net, rng.normal(size=(4, 3, 12, 12)))
+
+    def test_full_precision_layer_rejected(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        quantized_layers(net)[0][1].w_bits = None
+        with pytest.raises(CompileError):
+            compile_model(net, calibration)
+
+    def test_non_uniform_codebook_rejected(self, rng):
+        net, calibration = _quantized_convnet(rng, policy="lqnets")
+        with pytest.raises(CompileError, match="uniform"):
+            compile_model(net, calibration)
+
+    def test_forward_shape_check(self, rng):
+        net, calibration = _quantized_convnet(rng)
+        compiled = compile_model(net, calibration)
+        with pytest.raises(ValueError):
+            compiled.forward(rng.normal(size=(2, 3, 5, 5)))
+
+
+def test_reference_model_is_a_copy(rng):
+    net, calibration = _quantized_convnet(rng)
+    compiled = compile_model(net, calibration)
+    assert compiled.reference_model is not net
+    original = copy.deepcopy(net.state_dict())
+    for key, value in net.state_dict().items():
+        np.testing.assert_array_equal(value, original[key])

@@ -1,0 +1,154 @@
+"""Fault isolation: a poisoned request fails alone, the engine lives on.
+
+Three poison classes are covered: requests rejected by validation
+(wrong shape, non-finite values), and requests that detonate *inside*
+a forward pass (exercised through a stub model, since the real
+compiled model validates everything dangerous up front).  In every
+case the failing request gets a structured :class:`RequestError`, the
+``serving.request_failures`` counter increments, and subsequent
+requests are served normally.
+"""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.nn import Tensor, no_grad
+from repro.quantization import quantize_model, set_uniform_bits
+from repro.serving import RequestError, ServingEngine, compile_model
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    rng = np.random.default_rng(3)
+    net = models.SmallConvNet(width=4, rng=rng)
+    net.train()
+    with no_grad():
+        for _ in range(3):
+            net(Tensor(rng.normal(size=(8, 3, 8, 8))))
+    net.eval()
+    quantize_model(net, "pact")
+    set_uniform_bits(net, 4, 4)
+    calibration = rng.normal(size=(8, 3, 8, 8))
+    with no_grad():
+        net(Tensor(calibration))
+    return compile_model(net, calibration)
+
+
+@pytest.fixture()
+def telemetry():
+    t = Telemetry.create(log_level="silent")
+    yield t
+    t.close()
+
+
+class ExplodingModel:
+    """Stub compiled model: any sample whose first value is exactly the
+    poison constant blows up the whole batch forward."""
+
+    POISON = 1e6
+    input_shape = (4,)
+
+    def forward(self, x, backend=None):
+        if np.any(x.reshape(x.shape[0], -1)[:, 0] == self.POISON):
+            raise RuntimeError("kernel detonated")
+        return x * 2.0
+
+
+class TestValidationFaults:
+    def test_bad_shape_fails_only_that_request(self, compiled, telemetry):
+        rng = np.random.default_rng(0)
+        good = rng.normal(size=compiled.input_shape)
+        with ServingEngine(compiled, telemetry=telemetry) as eng:
+            bad_fut = eng.submit(rng.normal(size=(5, 5)))
+            with pytest.raises(RequestError) as excinfo:
+                bad_fut.result(timeout=10.0)
+            # engine must keep serving after the failure
+            out = eng.predict(good, timeout=10.0)
+        np.testing.assert_array_equal(out, compiled.forward(good[None])[0])
+        err = excinfo.value
+        assert err.request_id is not None
+        assert "shape" in err.message
+        assert err.to_dict()["request_id"] == err.request_id
+        assert telemetry.registry.counter(
+            "serving.request_failures"
+        ).value == 1.0
+
+    def test_non_finite_input_rejected(self, compiled, telemetry):
+        rng = np.random.default_rng(1)
+        poisoned = rng.normal(size=compiled.input_shape)
+        poisoned[0, 0, 0] = np.nan
+        with ServingEngine(compiled, telemetry=telemetry) as eng:
+            with pytest.raises(RequestError, match="finite"):
+                eng.predict(poisoned, timeout=10.0)
+            # and again with inf, to prove the engine survived
+            poisoned[0, 0, 0] = np.inf
+            with pytest.raises(RequestError, match="finite"):
+                eng.predict(poisoned, timeout=10.0)
+        assert telemetry.registry.counter(
+            "serving.request_failures"
+        ).value == 2.0
+
+    def test_mixed_batch_good_requests_survive(self, compiled, telemetry):
+        rng = np.random.default_rng(2)
+        goods = [rng.normal(size=compiled.input_shape) for _ in range(3)]
+        with ServingEngine(
+            compiled, max_batch_size=8, max_wait_ms=20.0, telemetry=telemetry
+        ) as eng:
+            futures = [eng.submit(goods[0])]
+            futures.append(eng.submit(rng.normal(size=(1,))))
+            futures.extend(eng.submit(g) for g in goods[1:])
+            results = []
+            for fut in futures:
+                try:
+                    results.append(fut.result(timeout=10.0))
+                except RequestError:
+                    results.append(None)
+        assert results[1] is None
+        for g, out in zip(goods, [results[0]] + results[2:]):
+            np.testing.assert_array_equal(out, compiled.forward(g[None])[0])
+        assert telemetry.registry.counter(
+            "serving.request_failures"
+        ).value == 1.0
+
+
+class TestForwardFaults:
+    def test_batch_explosion_isolates_poisoned_request(self, telemetry):
+        model = ExplodingModel()
+        poison = np.full(model.input_shape, model.POISON)
+        good = np.ones(model.input_shape)
+        with ServingEngine(
+            model, max_batch_size=8, max_wait_ms=20.0, telemetry=telemetry
+        ) as eng:
+            futures = [eng.submit(good), eng.submit(poison), eng.submit(good)]
+            outs = []
+            for fut in futures:
+                try:
+                    outs.append(fut.result(timeout=10.0))
+                except RequestError as err:
+                    outs.append(err)
+        # the poisoned request failed with a structured error...
+        assert isinstance(outs[1], RequestError)
+        assert "detonated" in outs[1].message
+        # ...while its batchmates were salvaged by the solo retry
+        np.testing.assert_array_equal(outs[0], good * 2.0)
+        np.testing.assert_array_equal(outs[2], good * 2.0)
+        assert telemetry.registry.counter(
+            "serving.request_failures"
+        ).value == 1.0
+        assert telemetry.registry.counter(
+            "serving.requests_total"
+        ).value == 3.0
+
+    def test_engine_serves_after_explosion(self, telemetry):
+        model = ExplodingModel()
+        poison = np.full(model.input_shape, model.POISON)
+        good = np.arange(4, dtype=np.float64)
+        with ServingEngine(model, telemetry=telemetry) as eng:
+            with pytest.raises(RequestError):
+                eng.predict(poison, timeout=10.0)
+            for _ in range(3):
+                np.testing.assert_array_equal(
+                    eng.predict(good, timeout=10.0), good * 2.0
+                )

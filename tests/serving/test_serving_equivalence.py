@@ -1,0 +1,134 @@
+"""Property test: the integer engine is bit-exact to the fake-quant model.
+
+For random architectures, policies, bit widths and weights, the
+compiled engine's per-layer requantized codes must equal the codes the
+float fake-quant reference produces (recovered exactly through each
+layer's :class:`ActGrid`), and the float logits must agree to float
+round-off.  This is the contract that makes the serving engine a
+deployment of the CCQ training result rather than an approximation of
+it.
+
+Conv architectures carry BatchNorm: beyond covering folding, the
+folded data-dependent scales keep successive layer grids
+incommensurate, so pool averages never land *exactly* on a requant
+boundary — the only inputs where float arithmetic itself cannot
+specify the rounding direction (see docs/serving.md).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import models, nn
+from repro.nn import Tensor, no_grad
+from repro.nn import functional as F
+from repro.quantization import quantize_model, set_uniform_bits
+from repro.serving import compile_model, fake_quant_activations
+
+
+class MaxPoolNet(nn.Module):
+    """Tiny LeNet-shaped chain: conv/BN/relu/maxpool x2 then linear."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.conv1 = nn.Conv2d(3, 4, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(4)
+        self.conv2 = nn.Conv2d(4, 8, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(8)
+        self.fc = nn.Linear(8 * 2 * 2, 10, rng=rng)
+
+    def forward(self, x):
+        out = F.max_pool2d(self.bn1(self.conv1(x)).relu(), 2)
+        out = F.max_pool2d(self.bn2(self.conv2(out)).relu(), 2)
+        return self.fc(out.flatten(start_dim=1))
+
+
+def _build(arch, seed):
+    rng = np.random.default_rng(seed)
+    if arch == "smallconv":
+        net = models.SmallConvNet(width=4, rng=rng)
+        shape = (3, 8, 8)
+    elif arch == "maxpool":
+        net = MaxPoolNet(rng)
+        shape = (3, 8, 8)
+    else:
+        net = models.MLP(24, [16], 10, rng=rng)
+        shape = (24,)
+    if arch != "mlp":
+        net.train()
+        with no_grad():
+            for _ in range(3):
+                net(Tensor(rng.normal(size=(8,) + shape)))
+        net.eval()
+    return net, shape, rng
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(
+    arch=st.sampled_from(["smallconv", "maxpool", "mlp"]),
+    policy=st.sampled_from(["dorefa", "pact", "lsq"]),
+    w_bits=st.integers(min_value=2, max_value=8),
+    a_bits=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_engine_matches_fake_quant_reference(arch, policy, w_bits, a_bits, seed):
+    net, shape, rng = _build(arch, seed)
+    quantize_model(net, policy)
+    set_uniform_bits(net, w_bits, a_bits)
+    calibration = rng.normal(size=(8,) + shape)
+    with no_grad():
+        net(Tensor(calibration))
+
+    compiled = compile_model(net, calibration)
+    x = rng.normal(size=(4,) + shape)
+    expected_acts, expected_logits = fake_quant_activations(
+        compiled.reference_model, x
+    )
+
+    trace, logits = compiled.forward_codes(x)
+    assert len(trace) == len(expected_acts)
+    for grid, codes, acts in zip(compiled.grids, trace, expected_acts):
+        np.testing.assert_array_equal(codes, grid.codes_from_values(acts))
+    np.testing.assert_allclose(logits, expected_logits, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    policy=st.sampled_from(["dorefa", "pact", "lsq"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fold_preserves_float_model(policy, seed):
+    """BN folding must be a float no-op before any quantization enters."""
+    net, shape, rng = _build("smallconv", seed)
+    x = Tensor(rng.normal(size=(4,) + shape))
+    with no_grad():
+        before = net(x).data.copy()
+    from repro.serving import fold_batchnorm
+
+    folded = fold_batchnorm(net, rng.normal(size=(2,) + shape))
+    with no_grad():
+        after = folded(x).data
+    np.testing.assert_allclose(after, before, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    w_bits=st.integers(min_value=2, max_value=6),
+    a_bits=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_batched_forward_equals_solo(w_bits, a_bits, seed):
+    """The compiled forward must be batch-invariant code-for-code."""
+    net, shape, rng = _build("smallconv", seed)
+    quantize_model(net, "pact")
+    set_uniform_bits(net, w_bits, a_bits)
+    calibration = rng.normal(size=(8,) + shape)
+    with no_grad():
+        net(Tensor(calibration))
+    compiled = compile_model(net, calibration)
+    xs = rng.normal(size=(5,) + shape)
+    batched = compiled.forward(xs)
+    for i in range(xs.shape[0]):
+        np.testing.assert_array_equal(
+            batched[i], compiled.forward(xs[i : i + 1])[0]
+        )
