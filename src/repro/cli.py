@@ -204,6 +204,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 mode="adaptive",
                 max_epochs=task.scale.finetune_epochs + 1,
                 slack=0.01,
+                trainer=args.recover_trainer,
+                grad_shards=args.recover_grad_shards,
             ),
             lr=args.lr,
             target_compression=args.target_compression,
@@ -212,6 +214,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
             probe_cache=not args.no_probe_cache,
             probe_workers=args.probe_workers,
             probe_timeout=args.probe_timeout,
+            recover_workers=args.recover_workers,
+            probe_pipeline=not args.no_probe_pipeline,
             qweight_cache=not args.no_qweight_cache,
             checkpoint_dir=args.checkpoint_dir,
             max_retries=args.max_retries,
@@ -272,6 +276,8 @@ def _cmd_run_ccq(args: argparse.Namespace) -> int:
                 "probe_forward_passes": result.probe_forward_passes,
                 "probe_cache_hits": result.probe_cache_hits,
                 "probe_workers": args.probe_workers,
+                "recover_workers": args.recover_workers,
+                "recover_trainer": args.recover_trainer,
                 "qweight_cache_hits": result.qweight_cache_hits,
                 "qweight_cache_misses": result.qweight_cache_misses,
             }
@@ -603,6 +609,34 @@ def build_parser() -> argparse.ArgumentParser:
              "pinned-batch count times a measured per-batch EMA.  "
              "Trajectory-invariant (fingerprint-excluded): a timed-out "
              "candidate is re-evaluated serially with identical loss",
+    )
+    p_run.add_argument(
+        "--recover-workers", type=int, default=0,
+        help="shard recovery training batches across this many pool "
+             "workers when --recover-trainer=ddp (0 = compute shards "
+             "in-process, the default).  Trajectory-invariant "
+             "(fingerprint-excluded): the fixed-order all-reduce makes "
+             "the SGD trajectory bit-identical for any worker count",
+    )
+    p_run.add_argument(
+        "--recover-trainer", choices=("serial", "ddp"), default="serial",
+        help="recovery training strategy.  'ddp' shards every batch "
+             "into --recover-grad-shards slices with a deterministic "
+             "all-reduce; the shard plan changes the gradient rounding, "
+             "so this IS part of the resume fingerprint (see "
+             "docs/ddp.md)",
+    )
+    p_run.add_argument(
+        "--recover-grad-shards", type=int, default=4,
+        help="gradient shards per recovery batch under "
+             "--recover-trainer=ddp (trajectory-DEFINING, default: 4)",
+    )
+    p_run.add_argument(
+        "--no-probe-pipeline", action="store_true",
+        help="disable speculative probing: by default the next step's "
+             "likely probe candidates start on the pool while the "
+             "current step finishes accounting/checkpointing.  "
+             "Trajectory-invariant (fingerprint-excluded)",
     )
     p_run.add_argument(
         "--no-qweight-cache", action="store_true",

@@ -157,6 +157,23 @@ class CCQConfig:
     # NOT part of the resume fingerprint.  0 = serial (the default);
     # a pool that cannot start (sandboxed CI) falls back to serial.
     probe_workers: int = 0
+    # Data-parallel recovery fan-out (see repro.parallel.ddp).  With
+    # N > 0 workers and ``recovery.trainer == "ddp"``, each recovery
+    # batch's canonical shards run on the worker pool instead of
+    # in-process.  The shard *plan* (``recovery.grad_shards``) is
+    # trajectory-defining and fingerprinted; the worker count only
+    # decides where shards run — the deterministic fixed-order
+    # all-reduce makes the SGD trajectory bit-identical for any value,
+    # including 0 — so like probe_workers this knob is deliberately
+    # NOT part of the resume fingerprint.
+    recover_workers: int = 0
+    # Probe/recovery pipelining: after each step's collaboration, start
+    # the next step's probe fan-out speculatively so the workers
+    # compute during the parent's accounting, checkpoint and pre-step
+    # evaluation.  Speculation the realized step invalidates is
+    # discarded; consumed results are bit-identical to a fresh fan-out,
+    # so this is trajectory-invariant and fingerprint-excluded.
+    probe_pipeline: bool = True
     # Per-step frozen-layer quantized-weight cache: within a
     # competition stage the shadow weights are constant, so each
     # layer's quantized weight tensor is computed once per (layer,
@@ -341,6 +358,21 @@ class CCQQuantizer:
                 f"probe_workers must be >= 0, "
                 f"got {self.config.probe_workers}"
             )
+        if self.config.recover_workers < 0:
+            raise ValueError(
+                f"recover_workers must be >= 0, "
+                f"got {self.config.recover_workers}"
+            )
+        if self.config.recovery.trainer not in ("serial", "ddp"):
+            raise ValueError(
+                f"recovery.trainer must be 'serial' or 'ddp', "
+                f"got {self.config.recovery.trainer!r}"
+            )
+        if self.config.recovery.grad_shards < 1:
+            raise ValueError(
+                f"recovery.grad_shards must be >= 1, "
+                f"got {self.config.recovery.grad_shards}"
+            )
         # Parallel probe backend: created lazily at the first fan-out
         # (so serial runs never fork), torn down in run()'s finally.
         # A pool that fails to start or dies mid-run flips
@@ -355,6 +387,13 @@ class CCQQuantizer:
         # quarantine) lives for the whole run so its EMA, quarantine
         # set and respawn budget span pool generations.
         self._supervisor: Optional[Any] = None
+        # The data-parallel recovery trainer (recovery.trainer="ddp"),
+        # built lazily; shares the pool and supervisor with probing.
+        self._ddp_trainer: Optional[Any] = None
+        # A speculative probe round started at the end of the previous
+        # step and not yet collected: (step it targets, PendingRound).
+        # In-memory only — a resumed run simply starts without one.
+        self._spec: Optional[Tuple[int, Any]] = None
         if (
             self.config.probe_timeout is not None
             and self.config.probe_timeout <= 0
@@ -423,6 +462,8 @@ class CCQQuantizer:
                 "ccq.pool_requeued", "ccq.pool_repromotions",
                 "ccq.quarantined_candidates",
                 "ccq.checkpoint_integrity_failures",
+                "ccq.spec_probe_hits", "ccq.spec_probe_discarded",
+                "ccq.recover_pool_fallbacks",
             ):
                 self.telemetry.counter(counter_name)
         # Running totals of the per-round FanOutReports, surfaced in
@@ -627,17 +668,25 @@ class CCQQuantizer:
     # -- parallel fan-out --------------------------------------------------------
 
     def _ensure_pool(self) -> Optional[Any]:
-        """The worker pool, started on first use; ``None`` means serial."""
+        """The worker pool, started on first use; ``None`` means serial.
+
+        One pool serves both workloads — probe fan-out and recovery
+        shard rounds — sized for the larger of the two worker counts;
+        each fan-out uses at most its own configured width.
+        """
         if self._pool is not None:
             return self._pool
-        if self._pool_failed or self.config.probe_workers <= 0:
+        pool_size = max(
+            self.config.probe_workers, self.config.recover_workers
+        )
+        if self._pool_failed or pool_size <= 0:
             return None
         try:
             from ..parallel import create_probe_pool
 
             self._pool = create_probe_pool(
                 self.model,
-                self.config.probe_workers,
+                pool_size,
                 self.config.quantize_activations,
                 telemetry=self.telemetry,
             )
@@ -649,7 +698,7 @@ class CCQQuantizer:
             self.telemetry.counter("ccq.probe_pool_fallbacks").inc()
             self.telemetry.logger.warning(
                 "probe pool unavailable; falling back to serial probes",
-                workers=self.config.probe_workers, error=str(err),
+                workers=pool_size, error=str(err),
             )
             return None
         self.telemetry.gauge("ccq.probe_pool_workers").set(
@@ -676,6 +725,39 @@ class CCQQuantizer:
                 telemetry=self.telemetry,
             )
         return self._supervisor
+
+    def _recover_trainer(self) -> Optional[Any]:
+        """The recovery training strategy; ``None`` = serial train_epoch.
+
+        Built once per run when ``recovery.trainer == "ddp"``.  The
+        trainer itself is what the fingerprint captures (via the
+        recovery config); the pool it may or may not reach through
+        ``_train_pool`` only moves shards between processes.
+        """
+        if self.config.recovery.trainer != "ddp":
+            return None
+        if self._ddp_trainer is None:
+            from ..parallel.ddp import DDPTrainer
+
+            self._ddp_trainer = DDPTrainer(
+                self.model,
+                grad_shards=self.config.recovery.grad_shards,
+                workers=self.config.recover_workers,
+                pool_getter=self._train_pool,
+                supervisor_getter=self._ensure_supervisor,
+                telemetry=self.telemetry,
+                on_fallback=self._on_recover_fallback,
+            )
+        return self._ddp_trainer
+
+    def _train_pool(self) -> Optional[Any]:
+        """The pool as seen by the DDP trainer (None = in-process)."""
+        if self.config.recover_workers <= 0:
+            return None
+        return self._ensure_pool()
+
+    def _on_recover_fallback(self, reason: str) -> None:
+        self.telemetry.counter("ccq.recover_pool_fallbacks").inc()
 
     def _close_pool(self) -> None:
         if self._pool is None:
@@ -717,7 +799,15 @@ class CCQQuantizer:
         run.  Candidates the loop never draws are speculative waste
         (counted in ``probe_forward_passes``, invisible everywhere
         else).
+
+        When the previous step left a speculative round in flight
+        (``probe_pipeline``), its results are collected here instead of
+        starting a fresh round — the candidate set is a deterministic
+        function of state that has not changed since the speculation
+        was ranked, so the speculative round *is* this step's fan-out.
         """
+        spec = self._spec
+        self._spec = None
         if self.config.probe_workers <= 0:
             return
         if self._pool_failed:
@@ -741,35 +831,17 @@ class CCQQuantizer:
                 step=step,
                 cooldown_steps=self.config.pool_repromote_after,
             )
-        candidates = [
-            (i, self._next_bits(i))
-            for i in range(len(self.experts))
-            if self._is_awake(i)
-        ]
-        limit = min(self.config.probes_per_step, len(candidates))
-        if len(candidates) > limit:
-            awake = [self._is_awake(i) for i in range(len(self.experts))]
-            p = self.competition.probabilities(awake)
-            # Stable: probability descending, expert index ascending.
-            candidates = sorted(
-                candidates, key=lambda c: (-p[c[0]], c[0])
-            )[:limit]
+        candidates = self._probe_candidates()
         if len(candidates) < 2:
             return  # nothing to fan out
+        if spec is not None and self._collect_spec(step, spec, candidates):
+            return
         pool = self._ensure_pool()
         if pool is None:
             return
         telemetry = self.telemetry
         supervisor = self._ensure_supervisor()
-        tasks = [
-            (
-                (index, bits),
-                [self.layers[m][0]
-                 for m in self.experts[index][1]],
-                bits,
-            )
-            for index, bits in candidates
-        ]
+        tasks = self._candidate_tasks(candidates)
         try:
             with telemetry.span(
                 "probe_fanout", step=step, candidates=len(candidates)
@@ -795,7 +867,151 @@ class CCQQuantizer:
             # fault, or a non-conforming pool double): degrade.
             self._degrade_pool(step, str(err))
             return
-        raw_outcomes = report.outcomes
+        self._account_fanout_report(step, report, supervisor)
+        self._prefetch_outcomes(report.outcomes)
+        if report.degraded:
+            self._degrade_pool(step, "respawn budget exhausted")
+
+    def _probe_candidates(self) -> List[Tuple[int, int]]:
+        """The step's distinct fan-out candidates, most probable first.
+
+        Deterministic: ranked by the distribution round 0 draws from,
+        ties broken by expert index.  Nothing between the end of one
+        step's collaboration and the next step's fan-out touches the
+        Hedge state or the bit widths, so a speculative ranking taken
+        early is identical to the one taken at fan-out time.
+        """
+        candidates = [
+            (i, self._next_bits(i))
+            for i in range(len(self.experts))
+            if self._is_awake(i)
+        ]
+        limit = min(self.config.probes_per_step, len(candidates))
+        if len(candidates) > limit:
+            awake = [self._is_awake(i) for i in range(len(self.experts))]
+            p = self.competition.probabilities(awake)
+            # Stable: probability descending, expert index ascending.
+            candidates = sorted(
+                candidates, key=lambda c: (-p[c[0]], c[0])
+            )[:limit]
+        return candidates
+
+    def _candidate_tasks(
+        self, candidates: List[Tuple[int, int]]
+    ) -> List[Tuple[Any, List[str], int]]:
+        return [
+            (
+                (index, bits),
+                [self.layers[m][0]
+                 for m in self.experts[index][1]],
+                bits,
+            )
+            for index, bits in candidates
+        ]
+
+    def _start_speculative_probes(self, next_step: int) -> None:
+        """Kick off the next step's probe fan-out before this step ends.
+
+        Called right after a successful collaboration: the model is in
+        its final state for this step, the Hedge state is already what
+        the next step's round 0 will draw from, and the pinned probe
+        subset is reusable — so the next step's candidate losses are
+        fully determined and can compute on the workers while the
+        parent spends wall-clock on accounting, the checkpoint and the
+        next pre-step evaluation.  The handle is collected (or
+        discarded, generation-tagged) by the next ``_fan_out_probes``.
+        """
+        cfg = self.config
+        if (
+            not cfg.probe_pipeline
+            or cfg.probe_workers <= 0
+            or self._pool_failed
+            or self._stop_requested
+            or (cfg.max_steps is not None and next_step >= cfg.max_steps)
+        ):
+            return
+        engine = self.probe_engine
+        if getattr(engine, "_pinned", None) is None or not getattr(
+            engine, "_pin_reusable", False
+        ):
+            # The next begin_step would re-pin the probe subset, so a
+            # speculative loss could score on different data: don't.
+            return
+        candidates = self._probe_candidates()
+        if len(candidates) < 2:
+            return
+        pool = self._ensure_pool()
+        if pool is None:
+            return
+        supervisor = self._ensure_supervisor()
+        tasks = self._candidate_tasks(candidates)
+        try:
+            with self.telemetry.span(
+                "probe_fanout_start", step=next_step,
+                candidates=len(candidates), speculative=True,
+            ) as span:
+                trace = {
+                    "trace_id": f"step{next_step}",
+                    "parent_span": getattr(span, "span_id", None),
+                    "step": next_step,
+                }
+                started = supervisor.start_round(
+                    pool,
+                    named_state_arrays(self.model),
+                    get_bit_config(self.model),
+                    engine.pinned.batches,
+                    tasks,
+                    trace=trace,
+                )
+        except Exception as err:
+            self._degrade_pool(next_step, str(err))
+            return
+        if started is not None:
+            self._spec = (next_step, started)
+
+    def _collect_spec(
+        self,
+        step: int,
+        spec: Tuple[int, Any],
+        candidates: List[Tuple[int, int]],
+    ) -> bool:
+        """Collect a speculative round; True when it covered this step.
+
+        Results for candidates the realized step does not rank are
+        discarded (their forward passes are still counted — speculative
+        waste, like an undrawn prefetch).  Candidates the speculation
+        missed evaluate serially inside the Hedge loop, exactly like a
+        salvaged fan-out.
+        """
+        spec_step, started = spec
+        pool = self._pool
+        if pool is None or spec_step != step:
+            return False
+        telemetry = self.telemetry
+        supervisor = self._ensure_supervisor()
+        try:
+            with telemetry.span(
+                "probe_fanout", step=step, speculative=True,
+                candidates=len(candidates),
+            ):
+                report = supervisor.collect_round(pool, started)
+        except Exception as err:
+            self._degrade_pool(step, str(err))
+            return True
+        self._account_fanout_report(step, report, supervisor)
+        self._prefetch_outcomes(
+            report.outcomes,
+            valid_keys={(index, bits) for index, bits in candidates},
+        )
+        if report.degraded:
+            self._degrade_pool(step, "respawn budget exhausted")
+        return True
+
+    def _account_fanout_report(
+        self, step: int, report: Any, supervisor: Any
+    ) -> None:
+        """Counters, totals, gauges and logs for one FanOutReport."""
+        telemetry = self.telemetry
         if report.respawned:
             telemetry.counter("ccq.pool_respawns").inc(report.respawned)
         if report.salvaged:
@@ -850,10 +1066,36 @@ class CCQQuantizer:
                 "missing probe results will evaluate serially",
                 step=step, missing=len(report.missing),
             )
+
+    def _prefetch_outcomes(
+        self,
+        raw_outcomes: Dict[Any, Dict[str, Any]],
+        valid_keys: Optional[Set[Any]] = None,
+    ) -> None:
+        """Convert raw worker outcomes and stage them in the engine.
+
+        ``valid_keys`` (speculative collection) filters which results
+        reach the engine; everything is still counted as a forward
+        pass, since the workers did compute it.
+        """
+        telemetry = self.telemetry
         outcomes: Dict[Any, ProbeOutcome] = {}
+        discarded = 0
         for key, raw in raw_outcomes.items():
             ok = raw["status"] == "ok"
             elapsed = float(raw.get("elapsed", 0.0))
+            self.probe_forward_passes += 1
+            if telemetry.enabled:
+                telemetry.histogram(
+                    "ccq.probe_worker_eval_s", worker=raw.get("worker")
+                ).observe(elapsed)
+                if ok:
+                    telemetry.histogram("ccq.probe_loss").observe(
+                        float(raw["loss"])
+                    )
+            if valid_keys is not None and key not in valid_keys:
+                discarded += 1
+                continue
             outcomes[key] = ProbeOutcome(
                 loss=raw.get("loss"),
                 elapsed=elapsed,
@@ -864,19 +1106,14 @@ class CCQQuantizer:
                 batch_index=raw.get("batch_index"),
                 value=raw.get("value"),
             )
-            self.probe_forward_passes += 1
-            if telemetry.enabled:
-                telemetry.histogram(
-                    "ccq.probe_worker_eval_s", worker=raw.get("worker")
-                ).observe(elapsed)
-                if ok:
-                    telemetry.histogram("ccq.probe_loss").observe(
-                        float(raw["loss"])
-                    )
         telemetry.counter("ccq.probe_pool_evals").inc(len(outcomes))
+        if valid_keys is not None:
+            telemetry.counter("ccq.spec_probe_hits").inc(len(outcomes))
+            if discarded:
+                telemetry.counter("ccq.spec_probe_discarded").inc(
+                    discarded
+                )
         self.probe_engine.prefetch(outcomes)
-        if report.degraded:
-            self._degrade_pool(step, "respawn budget exhausted")
 
     def _fanout_stats(self) -> Dict[str, Any]:
         """Fan-out totals for CCQResult / results JSON (empty if serial)."""
@@ -1149,10 +1386,12 @@ class CCQQuantizer:
                     self.config.recovery,
                     reference_accuracy=float_eval.accuracy,
                     telemetry=self.telemetry,
+                    trainer=self._recover_trainer(),
                 )
             else:
+                train_fn = self._recover_trainer() or train_epoch
                 for _ in range(self.config.initial_recovery_epochs):
-                    train_epoch(
+                    train_fn(
                         self.model, self.train_loader, self.optimizer,
                         max_batches=self.config.recovery.max_batches_per_epoch,
                         telemetry=self.telemetry,
@@ -1277,6 +1516,7 @@ class CCQQuantizer:
                         ),
                         on_epoch=on_epoch,
                         telemetry=telemetry,
+                        trainer=self._recover_trainer(),
                     )
                 break
             except DivergenceError as err:
@@ -1323,6 +1563,11 @@ class CCQQuantizer:
             return None
 
         self._best_accuracy = max(self._best_accuracy, report.end_accuracy)
+        # Collaboration is done, so the model (and the Hedge state the
+        # next round 0 draws from) is final: overlap the step's tail —
+        # accounting, checkpoint, next pre-eval — with the next step's
+        # probe fan-out on the workers.
+        self._start_speculative_probes(step + 1)
         # Post-step accounting (size report, power trace, journaling) is
         # real wall-clock; the ``account`` stage span keeps it out of
         # the report's uncovered remainder.

@@ -41,6 +41,15 @@ class RecoveryConfig:
     hybrid_bump: float = 4.0
     hybrid_cycle: int = 3
     max_batches_per_epoch: Optional[int] = None
+    # Training strategy.  "serial" is the whole-batch reference loop;
+    # "ddp" shards every batch into ``grad_shards`` slices and combines
+    # the gradients with a deterministic fixed-order all-reduce (see
+    # docs/ddp.md).  Both fields are trajectory-DEFINING — the shard
+    # plan fixes the gradient reduction order — and therefore part of
+    # the resume fingerprint, unlike the worker count that merely
+    # decides where shards run.
+    trainer: Literal["serial", "ddp"] = "serial"
+    grad_shards: int = 4
 
     def target_accuracy(self, reference: float) -> float:
         """The accuracy the adaptive mode must re-attain."""
@@ -73,6 +82,7 @@ def recover(
     scheduler: Optional[LRScheduler] = None,
     on_epoch: Optional[Callable[[int, float, float], None]] = None,
     telemetry: Optional[object] = None,
+    trainer: Optional[Callable] = None,
 ) -> RecoveryReport:
     """Run the collaboration stage and report the recovery trajectory.
 
@@ -88,7 +98,13 @@ def recover(
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`, optional) times
     each fine-tuning epoch as a ``recover_epoch`` span and tracks the
     hybrid schedule's learning rate as the ``recover.lr`` gauge.
+
+    ``trainer`` is the training strategy: any callable with the
+    :func:`~repro.core.training.train_epoch` signature (the default
+    when ``None``).  :class:`repro.parallel.ddp.DDPTrainer` plugs in
+    here to shard batches across the worker pool.
     """
+    train_fn = trainer if trainer is not None else train_epoch
     if telemetry is None:
         from ..telemetry import NULL_TELEMETRY
 
@@ -119,7 +135,7 @@ def recover(
         if target is not None and current.accuracy >= target:
             break
         with telemetry.span("recover_epoch", epoch=epochs_used + 1):
-            train_loss = train_epoch(
+            train_loss = train_fn(
                 model, train_loader, optimizer,
                 max_batches=config.max_batches_per_epoch,
                 telemetry=telemetry,

@@ -32,6 +32,7 @@ __all__ = [
     "evaluate",
     "train_epoch",
     "make_sgd",
+    "trainable_parameters",
     "accuracy_from_logits",
 ]
 
@@ -176,6 +177,28 @@ def train_epoch(
     return float(np.mean(losses))
 
 
+def trainable_parameters(
+    model: Module, include_quantizer_params: bool = True
+) -> List[Tensor]:
+    """The canonical ordered list of everything SGD trains.
+
+    Model parameters in module-tree order, plus (optionally) quantizer
+    parameters that were attached without registration.  The order is a
+    pure function of the module tree, so a forked worker replica
+    enumerates exactly the same list as the parent — which is what lets
+    the data-parallel recovery trainer (:mod:`repro.parallel.ddp`) ship
+    gradients positionally.
+    """
+    params = list(model.parameters())
+    if include_quantizer_params:
+        seen = {id(p) for p in params}
+        for extra in collect_quantizer_parameters(model):
+            if id(extra) not in seen:
+                params.append(extra)
+                seen.add(id(extra))
+    return params
+
+
 def make_sgd(
     model: Module,
     lr: float,
@@ -190,11 +213,5 @@ def make_sgd(
     by ``model.parameters()``; the explicit collection handles hand-built
     layers whose quantizers were attached without registration.
     """
-    params = list(model.parameters())
-    if include_quantizer_params:
-        seen = {id(p) for p in params}
-        for extra in collect_quantizer_parameters(model):
-            if id(extra) not in seen:
-                params.append(extra)
-                seen.add(id(extra))
+    params = trainable_parameters(model, include_quantizer_params)
     return SGD(params, lr=lr, momentum=momentum, weight_decay=weight_decay)

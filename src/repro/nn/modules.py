@@ -10,6 +10,7 @@ their parameters between competition probes.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -31,7 +32,54 @@ __all__ = [
     "MaxPool2d",
     "AvgPool2d",
     "GlobalAvgPool2d",
+    "collect_bn_batch_stats",
+    "fold_bn_batch_stats",
 ]
+
+# When a sink is installed (see collect_bn_batch_stats), training-mode
+# BatchNorm forwards append ``(module, batch_mean, unbiased_var)`` here
+# instead of folding the statistics into their running buffers.  The
+# data-parallel recovery trainer needs this: shard forwards may run in
+# worker processes whose buffer copies are throwaway, so the EMA folds
+# are replayed centrally — in canonical shard order — from the captured
+# per-shard batch statistics, which depend only on the shard data.
+_BN_STATS_SINK: Optional[List[Tuple["BatchNorm2d", np.ndarray, np.ndarray]]] = None
+
+
+@contextmanager
+def collect_bn_batch_stats(
+    sink: List[Tuple["BatchNorm2d", np.ndarray, np.ndarray]]
+):
+    """Capture BatchNorm batch statistics instead of applying them.
+
+    While active, every training-mode :class:`BatchNorm2d` forward
+    appends ``(module, batch_mean, unbiased_var)`` to ``sink`` — in
+    forward order — and leaves ``running_mean``/``running_var``
+    untouched.  Replaying the captured entries with
+    :func:`fold_bn_batch_stats` in the same order reproduces the exact
+    buffer trajectory of an uncaptured run, bit for bit.
+    """
+    global _BN_STATS_SINK
+    previous = _BN_STATS_SINK
+    _BN_STATS_SINK = sink
+    try:
+        yield sink
+    finally:
+        _BN_STATS_SINK = previous
+
+
+def fold_bn_batch_stats(
+    module: "BatchNorm2d", mean: np.ndarray, unbiased_var: np.ndarray
+) -> None:
+    """Apply one captured EMA fold to a BatchNorm module's buffers.
+
+    Exactly the in-place update the training forward performs, so a
+    capture-and-replay sequence is bitwise identical to the direct one.
+    """
+    module.running_mean *= 1.0 - module.momentum
+    module.running_mean += module.momentum * mean
+    module.running_var *= 1.0 - module.momentum
+    module.running_var += module.momentum * unbiased_var
 
 
 class Parameter(Tensor):
@@ -277,10 +325,18 @@ class BatchNorm2d(Module):
             # Update running statistics (EMA, unbiased variance like torch).
             batch = x.shape[0] * x.shape[2] * x.shape[3]
             unbiased = var.data.reshape(-1) * batch / max(batch - 1, 1)
-            self.running_mean *= 1.0 - self.momentum
-            self.running_mean += self.momentum * mean.data.reshape(-1)
-            self.running_var *= 1.0 - self.momentum
-            self.running_var += self.momentum * unbiased
+            if _BN_STATS_SINK is not None:
+                # Shard-grad capture mode: record the batch statistics
+                # for a central, canonically-ordered replay instead of
+                # folding them here (see collect_bn_batch_stats).
+                _BN_STATS_SINK.append(
+                    (self, mean.data.reshape(-1).copy(), unbiased)
+                )
+            else:
+                self.running_mean *= 1.0 - self.momentum
+                self.running_mean += self.momentum * mean.data.reshape(-1)
+                self.running_var *= 1.0 - self.momentum
+                self.running_var += self.momentum * unbiased
             x_hat = centered / (var + self.eps).sqrt()
         else:
             shape = (1, self.num_features, 1, 1)

@@ -24,9 +24,15 @@ from __future__ import annotations
 from typing import Optional
 
 from ..telemetry import Telemetry
+from .ddp import DDPTrainer, compute_shard_grad, plan_shards
 from .pool import PoolError, ProbeTask, ProbeWorkerPool
 from .sharedmem import SharedArrayStore, attach_arrays, views_from
-from .supervisor import FanOutReport, PoolSupervisor, SupervisionConfig
+from .supervisor import (
+    FanOutReport,
+    PendingRound,
+    PoolSupervisor,
+    SupervisionConfig,
+)
 
 __all__ = [
     "PoolError",
@@ -39,6 +45,10 @@ __all__ = [
     "PoolSupervisor",
     "SupervisionConfig",
     "FanOutReport",
+    "PendingRound",
+    "DDPTrainer",
+    "plan_shards",
+    "compute_shard_grad",
 ]
 
 

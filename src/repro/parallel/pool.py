@@ -117,6 +117,12 @@ class ProbeWorkerPool:
             else None
         )
         self._store = SharedArrayStore()
+        # Recovery train rounds broadcast per-batch (state + shard
+        # slices) through their own store: the probe layout and the
+        # train layout differ, and sharing one segment would make each
+        # broadcast a layout change (unlink + re-create) instead of an
+        # in-place refresh.
+        self._train_store = SharedArrayStore()
         self._workers: List[Any] = []
         self._command_queues: List[Any] = []
         self._closed = False
@@ -318,6 +324,53 @@ class ProbeWorkerPool:
                 # while a respawned worker re-syncs: keep it.
                 self._stash.append(message)
 
+    def train_broadcast(
+        self, arrays: Dict[str, np.ndarray]
+    ) -> Tuple[str, Any]:
+        """Stage one recovery batch (state + shard slices) in shared
+        memory; returns ``(segment name, manifest)`` for ``rtrain``
+        submissions.
+
+        Unlike :meth:`broadcast` there is no sync ack: workers read the
+        segment lazily when their shard command arrives, and the parent
+        collects every shard result (or writes the shard off) before
+        the next train broadcast can overwrite the block — so no live
+        reader ever races the refresh.
+        """
+        if self._closed:
+            raise PoolError("probe pool is closed")
+        name, manifest, _ = self._train_store.ensure(arrays)
+        return name, manifest
+
+    def submit_train(
+        self,
+        worker_id: int,
+        shard_id: int,
+        name: str,
+        manifest: Any,
+        bit_config: Dict[str, Tuple[Optional[int], Optional[int]]],
+        batch_seq: int,
+        batch_total: int,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Queue one recovery shard on a specific worker.
+
+        ``batch_seq`` keys the worker-side state reload: a worker
+        running several shards of the same batch loads the broadcast
+        weights once.
+        """
+        if self._closed:
+            raise PoolError("probe pool is closed")
+        message: Tuple[Any, ...] = (
+            "rtrain", self._eval_gen, batch_seq, name, manifest,
+            bit_config, shard_id, batch_total,
+        )
+        if trace is not None:
+            stamped = dict(trace)
+            stamped["submitted_ts"] = time.time()
+            message = message + (stamped,)
+        self._command_queues[worker_id].put(message)
+
     # -- evaluation ----------------------------------------------------------
 
     def begin_round(self) -> int:
@@ -475,6 +528,7 @@ class ProbeWorkerPool:
         except (AttributeError, OSError, ValueError):
             pass
         self._store.unlink()
+        self._train_store.unlink()
 
     def __del__(self) -> None:
         # Interpreter-teardown cleanup only.  Narrow catches: a

@@ -49,12 +49,18 @@ from .pool import PoolError, ProbeTask, ProbeWorkerPool
 __all__ = [
     "SupervisionConfig",
     "FanOutReport",
+    "PendingRound",
     "PoolSupervisor",
     "outcome_problem",
+    "train_outcome_problem",
 ]
 
 # Statuses a well-formed worker outcome may carry.
 _VALID_STATUSES = ("ok", "diverged", "error")
+
+# Statuses a recovery-shard outcome may carry (divergence is detected
+# by the parent trainer after the all-reduce, never shard-side).
+_VALID_TRAIN_STATUSES = ("ok", "error")
 
 
 @dataclass(frozen=True)
@@ -136,6 +142,34 @@ def outcome_problem(outcome: Any) -> Optional[str]:
     return None
 
 
+def train_outcome_problem(outcome: Any) -> Optional[str]:
+    """Validate a recovery-shard outcome's schema.
+
+    Unlike :func:`outcome_problem` a non-finite loss is *not* corrupt
+    here: a diverging shard is a property of the trajectory, and the
+    parent trainer's post-all-reduce ``ensure_finite`` must see it at
+    exactly the point the serial trainer would — schema validation only
+    rejects results a healthy worker could never have produced.
+    """
+    if not isinstance(outcome, dict):
+        return f"outcome is not a dict: {type(outcome).__name__}"
+    if outcome.get("kind") != "train":
+        return f"not a train outcome: kind={outcome.get('kind')!r}"
+    if not isinstance(outcome.get("task_id"), int):
+        return f"non-integer task_id: {outcome.get('task_id')!r}"
+    status = outcome.get("status")
+    if status not in _VALID_TRAIN_STATUSES:
+        return f"unknown status: {status!r}"
+    if status == "ok":
+        if not isinstance(outcome.get("loss"), float):
+            return f"status 'ok' with non-float loss: {outcome.get('loss')!r}"
+        if not isinstance(outcome.get("grads"), list):
+            return "status 'ok' without a gradient list"
+        if not isinstance(outcome.get("bn"), list):
+            return "status 'ok' without BatchNorm statistics"
+    return None
+
+
 class _InFlight:
     """One submitted task awaiting its result."""
 
@@ -152,12 +186,43 @@ class _InFlight:
         self.requeued = False
 
 
+class PendingRound:
+    """A fan-out round that has been submitted but not yet collected.
+
+    The handle :meth:`PoolSupervisor.start_round` returns so a caller
+    can overlap other work (recovery training, checkpointing) with the
+    workers' compute and call :meth:`PoolSupervisor.collect_round`
+    later.  The deadline *duration* is fixed at start time, but its
+    clock starts at collect time — the overlap window must not eat
+    into the workers' time allowance.
+    """
+
+    __slots__ = ("gen", "pending", "report", "n_batches", "trace")
+
+    def __init__(
+        self,
+        gen: int,
+        pending: Dict[int, _InFlight],
+        report: FanOutReport,
+        n_batches: int,
+        trace: Optional[Dict[str, Any]],
+    ) -> None:
+        self.gen = gen
+        self.pending = pending
+        self.report = report
+        self.n_batches = n_batches
+        self.trace = trace
+
+
 class PoolSupervisor:
     """Per-run supervisor: deadlines, respawns, salvage, quarantine.
 
     One instance lives for the whole CCQ run (its EMA, quarantine set
     and respawn budget span pool generations); each competition step's
-    fan-out goes through :meth:`run_round`.
+    fan-out goes through :meth:`run_round` (or the split
+    :meth:`start_round` / :meth:`collect_round` pair when the caller
+    overlaps the round with other work), and each data-parallel
+    recovery batch through :meth:`run_train_round`.
     """
 
     def __init__(
@@ -170,6 +235,10 @@ class PoolSupervisor:
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
         self._ema_batch_s: Optional[float] = None
+        # Per-shard EMA of recovery-train rounds (a shard's scaled
+        # forward/backward has a very different cost profile from a
+        # probe evaluation, so the two deadlines adapt independently).
+        self._ema_train_s: Optional[float] = None
         self.respawns_used = 0
         self._crash_counts: Dict[Hashable, int] = {}
         self._quarantined: Set[Hashable] = set()
@@ -217,6 +286,38 @@ class PoolSupervisor:
         per_task = self.task_deadline_s(n_batches)
         waves = math.ceil(n_tasks / max(1, n_workers))
         return per_task * max(1, waves)
+
+    @property
+    def ema_train_s(self) -> Optional[float]:
+        """Measured per-shard recovery compute time (EMA), if any yet."""
+        return self._ema_train_s
+
+    def observe_train_elapsed(self, elapsed: float) -> None:
+        """Feed one healthy shard's wall clock into the train EMA."""
+        if elapsed <= 0:
+            return
+        if self._ema_train_s is None:
+            self._ema_train_s = elapsed
+        else:
+            alpha = self.config.ema_alpha
+            self._ema_train_s = (
+                alpha * elapsed + (1.0 - alpha) * self._ema_train_s
+            )
+
+    def train_task_deadline_s(self) -> float:
+        """Deadline for a single recovery shard."""
+        cfg = self.config
+        if cfg.probe_timeout is not None:
+            return cfg.probe_timeout
+        if self._ema_train_s is None:
+            return cfg.startup_timeout
+        derived = self._ema_train_s * cfg.deadline_safety
+        return min(max(derived, cfg.deadline_floor), cfg.deadline_ceiling)
+
+    def train_round_deadline_s(self, n_shards: int, n_workers: int) -> float:
+        """Deadline for one batch's shard round."""
+        waves = math.ceil(n_shards / max(1, n_workers))
+        return self.train_task_deadline_s() * max(1, waves)
 
     # -- quarantine ----------------------------------------------------------
 
@@ -269,11 +370,36 @@ class PoolSupervisor:
         requeues — so worker-side spans join the parent's fan-out span
         into one trace.
         """
+        started = self.start_round(
+            pool, state_arrays, bit_config, pinned_batches, tasks,
+            trace=trace,
+        )
+        if started is None:
+            return FanOutReport()
+        return self.collect_round(pool, started)
+
+    def start_round(
+        self,
+        pool: ProbeWorkerPool,
+        state_arrays: Dict[str, Any],
+        bit_config: Dict[str, Any],
+        pinned_batches: Sequence[Any],
+        tasks: Sequence[ProbeTask],
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> Optional[PendingRound]:
+        """Broadcast and submit ``tasks``; return the round handle.
+
+        The first half of :meth:`run_round`, split out so a caller can
+        overlap the workers' compute with other work (speculative
+        probing of the next step runs while the parent recovers the
+        current one).  Returns ``None`` when nothing was fanned out
+        (every task quarantined).
+        """
         report = FanOutReport()
         self._round_trace = trace
         tasks = [t for t in tasks if t[0] not in self._quarantined]
         if not tasks:
-            return report
+            return None
         report.attempted = len(tasks)
 
         # 1. Heal anything already dead, then broadcast (retry once
@@ -299,11 +425,28 @@ class PoolSupervisor:
             pool.submit(worker, i, layer_names, bits, trace=trace)
             pending[i] = _InFlight(key, layer_names, bits, worker)
 
-        # 3. Collect until done or the adaptive deadline expires.
         n_batches = len(pinned_batches)
         report.deadline_s = self.round_deadline_s(
             len(tasks), n_batches, len(alive)
         )
+        return PendingRound(gen, pending, report, n_batches, trace)
+
+    def collect_round(
+        self, pool: ProbeWorkerPool, started: PendingRound
+    ) -> FanOutReport:
+        """Collect a started round's results under supervision.
+
+        The deadline duration was fixed at :meth:`start_round`; its
+        clock starts now, so time the caller spent overlapping does not
+        count against the workers.
+        """
+        self._round_trace = started.trace
+        report = started.report
+        pending = started.pending
+        gen = started.gen
+        n_batches = started.n_batches
+
+        # 3. Collect until done or the adaptive deadline expires.
         deadline = time.monotonic() + report.deadline_s
         while pending:
             remaining = deadline - time.monotonic()
@@ -336,6 +479,178 @@ class PoolSupervisor:
         if report.faults:
             report.salvaged = report.completed
         return report
+
+    # -- the supervised train round ------------------------------------------
+
+    def run_train_round(
+        self,
+        pool: ProbeWorkerPool,
+        arrays: Dict[str, Any],
+        bit_config: Dict[str, Any],
+        batch_seq: int,
+        shard_ids: Sequence[int],
+        batch_total: int,
+        n_workers: int,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> "tuple[Dict[int, Dict[str, Any]], FanOutReport]":
+        """One recovery batch's shard round under supervision.
+
+        Returns ``(outcomes by shard id, report)``.  The same healing
+        policy as probe rounds — dead workers respawned under the
+        shared budget, lost shards requeued once onto survivors — but
+        no quarantine: a missing shard is recomputed in-process by the
+        trainer (bit-identically), so there is never a reason to ban
+        one.  Divergent (non-finite) shard losses are valid results
+        here; the trainer's post-all-reduce guard judges them.
+        """
+        report = FanOutReport()
+        report.attempted = len(shard_ids)
+        self._round_trace = trace
+        self._sweep_dead(pool, None, report)
+        name, manifest = pool.train_broadcast(arrays)
+        gen = pool.begin_round()
+        alive = pool.alive_workers()[: max(1, n_workers)]
+        if not alive:
+            raise PoolError("no live workers for the train round")
+
+        def resubmit(worker_id: int, shard_id: int) -> None:
+            pool.submit_train(
+                worker_id, shard_id, name, manifest, bit_config,
+                batch_seq, batch_total, trace=self._round_trace,
+            )
+
+        pending: Dict[int, _InFlight] = {}
+        for i, shard_id in enumerate(shard_ids):
+            worker = alive[i % len(alive)]
+            resubmit(worker, shard_id)
+            pending[shard_id] = _InFlight(shard_id, (), 0, worker)
+        report.deadline_s = self.train_round_deadline_s(
+            len(shard_ids), len(alive)
+        )
+        deadline = time.monotonic() + report.deadline_s
+        outcomes: Dict[int, Dict[str, Any]] = {}
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            message = pool.next_message(timeout=min(0.1, remaining))
+            if message is not None and message[0] == "result":
+                self._absorb_train_result(
+                    pool, message[1], gen, pending, outcomes, report,
+                    resubmit,
+                )
+            self._sweep_train_dead(pool, pending, report, resubmit)
+        if pending:
+            hung = sorted({entry.worker for entry in pending.values()})
+            report.faults.append(
+                f"train deadline ({report.deadline_s:.1f}s) expired; "
+                f"worker(s) {hung} hung with "
+                f"{len(pending)} shard(s) in flight"
+            )
+            for entry in pending.values():
+                report.missing.append(entry.key)
+            pending.clear()
+            for worker_id in hung:
+                self._recycle_train_worker(pool, worker_id, None, report,
+                                           resubmit)
+        report.completed = len(outcomes)
+        if report.faults:
+            report.salvaged = report.completed
+        return outcomes, report
+
+    def _absorb_train_result(
+        self,
+        pool: ProbeWorkerPool,
+        outcome: Any,
+        gen: int,
+        pending: Dict[int, _InFlight],
+        outcomes: Dict[int, Dict[str, Any]],
+        report: FanOutReport,
+        resubmit: Any,
+    ) -> None:
+        if isinstance(outcome, dict) and outcome.get("gen") != gen:
+            return  # stale result from an aborted earlier round
+        problem = train_outcome_problem(outcome)
+        if problem is not None:
+            task_id = (
+                outcome.get("task_id") if isinstance(outcome, dict) else None
+            )
+            entry = pending.pop(task_id, None) if isinstance(
+                task_id, int
+            ) else None
+            worker = (
+                entry.worker if entry is not None
+                else outcome.get("worker") if isinstance(outcome, dict)
+                else None
+            )
+            report.faults.append(
+                f"corrupt train result from worker {worker}: {problem}"
+            )
+            if entry is not None:
+                report.missing.append(entry.key)
+            if isinstance(worker, int):
+                self._recycle_train_worker(pool, worker, pending, report,
+                                           resubmit)
+            return
+        entry = pending.pop(outcome["task_id"], None)
+        if entry is None:
+            return  # duplicate or already-requeued-and-answered
+        if outcome["status"] == "error":
+            report.faults.append(
+                f"worker {outcome.get('worker')} error on shard "
+                f"{entry.key}: {outcome.get('message')}"
+            )
+            report.missing.append(entry.key)
+            return
+        outcomes[entry.key] = outcome
+        self.observe_train_elapsed(float(outcome.get("elapsed", 0.0)))
+
+    def _sweep_train_dead(
+        self,
+        pool: ProbeWorkerPool,
+        pending: Dict[int, _InFlight],
+        report: FanOutReport,
+        resubmit: Any,
+    ) -> None:
+        for worker_id in pool.dead_workers():
+            if worker_id in self._written_off:
+                continue
+            report.faults.append(f"worker {worker_id} died")
+            self._recycle_train_worker(pool, worker_id, pending, report,
+                                       resubmit)
+
+    def _recycle_train_worker(
+        self,
+        pool: ProbeWorkerPool,
+        worker_id: int,
+        pending: Optional[Dict[int, _InFlight]],
+        report: FanOutReport,
+        resubmit: Any,
+    ) -> None:
+        """Respawn ``worker_id`` and requeue (once) its lost shards.
+
+        No crash counting: shards are positions in a batch, not
+        candidates — quarantining one would silently change which work
+        runs where forever, for no diagnostic gain.
+        """
+        lost = (
+            [tid for tid, e in pending.items() if e.worker == worker_id]
+            if pending else []
+        )
+        self._respawn(pool, worker_id, report)
+        if not pending:
+            return
+        alive = pool.alive_workers()
+        for i, tid in enumerate(lost):
+            entry = pending[tid]
+            if entry.requeued or not alive:
+                del pending[tid]
+                report.missing.append(entry.key)
+                continue
+            entry.requeued = True
+            entry.worker = alive[i % len(alive)]
+            resubmit(entry.worker, tid)
+            report.requeued += 1
 
     # -- internals -----------------------------------------------------------
 

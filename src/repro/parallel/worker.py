@@ -9,6 +9,15 @@ Each worker owns a private replica of the model (inherited through the
     configuration, and rebuild the pinned probe batches.  After a sync
     the replica is byte-identical to the parent's model.
 
+``rtrain``
+    One recovery shard: reload the train-broadcast state (once per
+    batch, keyed on the batch sequence number), run the canonical
+    scaled forward/backward of :func:`repro.parallel.ddp.
+    compute_shard_grad` on this shard's slice, and ship the gradient
+    list plus captured BatchNorm batch statistics.  The parent folds
+    shards in canonical order, so which worker ran which shard is
+    invisible to the trajectory.
+
 ``eval``
     Set one candidate's layers to its probed bit width, run the exact
     serial evaluation (:func:`repro.core.training.evaluate` over the
@@ -42,10 +51,16 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["worker_main", "PINNED_PREFIX", "FAULT_HOOK"]
+__all__ = ["worker_main", "PINNED_PREFIX", "DDP_PREFIX", "FAULT_HOOK"]
 
 # Broadcast keys carrying pinned probe batches instead of model state.
 PINNED_PREFIX = "pinned."
+
+# Train-broadcast keys carrying one recovery shard's batch slice
+# (``ddp.<shard>.images`` / ``ddp.<shard>.labels``) instead of model
+# state.  Recovery rounds use a segment separate from the probe
+# broadcast so the two layouts never thrash each other's signature.
+DDP_PREFIX = "ddp."
 
 # How long a worker blocks on its command queue before re-checking that
 # the parent is still alive (so an orphaned worker exits on its own).
@@ -142,6 +157,15 @@ def worker_main(
     shm = None
     shm_name: Optional[str] = None
     pinned: Optional[PinnedProbeSet] = None
+    # Recovery-training state: a second shared segment (the train
+    # broadcast), the batch sequence whose weights are currently
+    # loaded, and the lazily built parameter/BN enumerations.
+    train_shm = None
+    train_shm_name: Optional[str] = None
+    train_views: Optional[Dict[str, np.ndarray]] = None
+    train_seq: Optional[int] = None
+    train_params = None
+    train_bn_names: Optional[Dict[int, str]] = None
     if FAULT_HOOK is not None:
         on_start = getattr(FAULT_HOOK, "on_start", None)
         if on_start is not None and on_start(worker_id) == "kill":
@@ -196,6 +220,120 @@ def worker_main(
                 # metrics behind for the aggregator.
                 telemetry.write_worker_metrics()
                 result_queue.put(("synced", worker_id, sync_seq))
+                continue
+            if kind == "rtrain":
+                (
+                    _, gen, batch_seq, name, manifest,
+                    bit_config, shard_id, batch_total,
+                ) = message[:8]
+                trace = message[8] if len(message) > 8 else None
+                outcome = {
+                    "kind": "train", "task_id": shard_id,
+                    "worker": worker_id, "gen": gen,
+                }
+                span_attrs = {
+                    "task_id": shard_id, "batch_seq": batch_seq,
+                    "gen": gen,
+                }
+                if isinstance(trace, dict):
+                    for field in ("trace_id", "parent_span", "step"):
+                        if trace.get(field) is not None:
+                            span_attrs[field] = trace[field]
+                    submitted = trace.get("submitted_ts")
+                    if submitted is not None:
+                        wait_s = max(0.0, time.time() - float(submitted))
+                        span_attrs["queue_wait_s"] = wait_s
+                        telemetry.histogram(
+                            "worker.queue_wait_s"
+                        ).observe(wait_s)
+                if FAULT_HOOK is not None:
+                    action = FAULT_HOOK(
+                        worker_id, shard_id, ["__recover__"], 0
+                    )
+                    if action == "kill":
+                        os._exit(_EXIT_INJECTED_KILL)
+                    if action == "hang":
+                        time.sleep(
+                            getattr(FAULT_HOOK, "hang_seconds", 300.0)
+                        )
+                    elif action == "corrupt":
+                        outcome["status"] = "ok"
+                        outcome["loss"] = None  # schema violation
+                        outcome["elapsed"] = 0.0
+                        result_queue.put(("result", outcome))
+                        continue
+                train_span = telemetry.span("worker_train", **span_attrs)
+                train_span.__enter__()
+                t0 = time.perf_counter()
+                try:
+                    from .ddp import bn_module_names, compute_shard_grad
+
+                    if train_shm is not None and name != train_shm_name:
+                        train_shm.close()
+                        train_shm = None
+                    if (
+                        train_shm is None
+                        or batch_seq != train_seq
+                    ):
+                        if train_shm is None:
+                            train_shm, train_views = attach_arrays(
+                                name, manifest
+                            )
+                            train_shm_name = name
+                        else:
+                            train_views = views_from(train_shm, manifest)
+                        # One state reload per batch, however many of
+                        # its shards land on this worker.
+                        state = {
+                            key: view
+                            for key, view in train_views.items()
+                            if not key.startswith(DDP_PREFIX)
+                        }
+                        load_state_arrays(model, state)
+                        del state
+                        set_bit_config(model, bit_config)
+                        invalidate_weight_cache(model)
+                        for layer in layers.values():
+                            for quantizer in (
+                                layer.weight_quantizer, layer.act_quantizer
+                            ):
+                                if hasattr(quantizer, "_initialized"):
+                                    quantizer._initialized = True
+                        train_seq = batch_seq
+                    if train_params is None:
+                        from ..core.training import trainable_parameters
+
+                        train_params = trainable_parameters(model)
+                        train_bn_names = bn_module_names(model)
+                    images = np.array(
+                        train_views[f"{DDP_PREFIX}{shard_id}.images"]
+                    )
+                    labels = np.array(
+                        train_views[f"{DDP_PREFIX}{shard_id}.labels"]
+                    )
+                    outcome.update(
+                        compute_shard_grad(
+                            model, train_params, train_bn_names,
+                            images, labels, shard_id, batch_total,
+                        )
+                    )
+                    outcome["worker"] = worker_id
+                    outcome["gen"] = gen
+                except Exception as err:
+                    outcome["status"] = "error"
+                    outcome["message"] = repr(err)
+                    outcome["elapsed"] = time.perf_counter() - t0
+                status = str(outcome.get("status"))
+                if getattr(train_span, "attrs", None) is not None:
+                    train_span.attrs["status"] = status
+                train_span.__exit__(None, None, None)
+                telemetry.counter(
+                    "worker.train_shards", status=status
+                ).inc()
+                telemetry.histogram("worker.train_s").observe(
+                    float(outcome["elapsed"])
+                )
+                result_queue.put(("result", outcome))
                 continue
             if kind == "eval":
                 _, gen, task_id, layer_names, bits = message[:5]
@@ -291,5 +429,11 @@ def worker_main(
             pinned = None
             try:
                 shm.close()
+            except (OSError, BufferError):
+                pass
+        if train_shm is not None:
+            train_views = None
+            try:
+                train_shm.close()
             except (OSError, BufferError):
                 pass

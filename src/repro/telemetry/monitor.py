@@ -40,8 +40,8 @@ __all__ = ["MonitorState", "RunMonitor", "watch", "serve_metrics"]
 
 # Span names treated as "the run is now in stage X" for the live view.
 _STAGE_NAMES = {
-    "initialize", "probe", "probe_fanout", "recover", "eval",
-    "snapshot", "account", "checkpoint",
+    "initialize", "probe", "probe_fanout", "recover", "recover_fanout",
+    "eval", "snapshot", "account", "checkpoint",
 }
 
 
@@ -63,6 +63,8 @@ class MonitorState:
         self.expert_weights: Dict[str, float] = {}
         self.counters: Dict[str, float] = {}
         self.pool_workers: Optional[float] = None
+        self.recover_active_shards: Optional[float] = None
+        self.recover_allreduce_round: Optional[float] = None
 
     # -- event folding --------------------------------------------------
 
@@ -134,6 +136,10 @@ class MonitorState:
                 self.compression = float(value)
             elif name == "ccq.probe_pool_workers":
                 self.pool_workers = float(value)
+            elif name == "ccq.recover_active_shards":
+                self.recover_active_shards = float(value)
+            elif name == "ccq.recover_allreduce_round":
+                self.recover_allreduce_round = float(value)
         for entry in snapshot.get("counters", []):
             if entry.get("labels"):
                 continue
@@ -153,6 +159,8 @@ class MonitorState:
             "expert_weights": dict(self.expert_weights),
             "counters": dict(self.counters),
             "pool_workers": self.pool_workers,
+            "recover_active_shards": self.recover_active_shards,
+            "recover_allreduce_round": self.recover_allreduce_round,
             "last_step": dict(self.last_step),
             "last_fanout": dict(self.last_fanout),
             "last_warning": self.last_warning,
@@ -297,6 +305,23 @@ class RunMonitor:
                 )
         if pool_bits:
             lines.append("pool: " + "  ".join(pool_bits))
+        recover_bits: List[str] = []
+        if s.recover_active_shards is not None:
+            recover_bits.append(f"shards={s.recover_active_shards:g}")
+        if s.recover_allreduce_round is not None:
+            recover_bits.append(
+                f"allreduce-round={s.recover_allreduce_round:g}"
+            )
+        for key, label in (
+            ("ccq.spec_probe_hits", "spec-hits"),
+            ("ccq.spec_probe_discarded", "spec-discarded"),
+            ("ccq.recover_pool_fallbacks", "fallbacks"),
+        ):
+            value = s.counters.get(key)
+            if value:
+                recover_bits.append(f"{label}={value:g}")
+        if recover_bits:
+            lines.append("recover fan-out: " + "  ".join(recover_bits))
         resilience: List[str] = []
         for key, label in (
             ("ccq.probe_divergence", "probe-div"),

@@ -303,8 +303,8 @@ def _worker_lane_lines(run: RunTelemetry) -> List[str]:
     lines: List[str] = []
     lines.append(f"worker lanes ({len(lanes)} workers)")
     lines.append(
-        f"{'worker':<8} {'evals':>6} {'ok':>5} {'compute s':>10} "
-        f"{'wait s':>8} {'sync s':>8} {'share':>7}"
+        f"{'worker':<8} {'evals':>6} {'ok':>5} {'shards':>6} "
+        f"{'compute s':>10} {'wait s':>8} {'sync s':>8} {'share':>7}"
     )
     pool = pool_summary(agg)
     window = pool["fanout_window_s"]
@@ -312,6 +312,7 @@ def _worker_lane_lines(run: RunTelemetry) -> List[str]:
         share = lane.busy_s / window if window > 0 else 0.0
         lines.append(
             f"{'w' + str(worker_id):<8} {lane.evals:>6d} {lane.ok:>5d} "
+            f"{lane.train_shards:>6d} "
             f"{lane.busy_s:>10.3f} {lane.queue_wait_s:>8.3f} "
             f"{lane.sync_s:>8.3f} {share:>6.1%}"
         )
